@@ -1,0 +1,129 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+The paper asserts three design decisions without quantifying them; these
+benches fill the gaps on the same substrate:
+
+1. **LRU vs FIFO vs LFU tensor-cache eviction** (§3.3.2 defers
+   "other sophisticated cache replacement policies");
+2. **pinned vs pageable host staging** (§2.2's critique of TensorFlow:
+   unpinned transfers "compromise at least 50% of communication speed");
+3. **UTP external pools** (Fig. 7's peer-GPU and RDMA pools that the
+   evaluation never exercises).
+"""
+
+from repro.analysis.report import Table
+from repro.core.config import RuntimeConfig, WorkspacePolicy
+from repro.core.runtime import Executor
+from repro.device.fabric import LOCAL_CPU, PEER_GPU, REMOTE_RDMA
+from repro.zoo import alexnet, resnet50
+
+from benchmarks.common import GiB, img_per_sec, once, write_result
+
+
+# --- 1. eviction policy ------------------------------------------------------
+
+def _policy_run(policy: str):
+    """ResNet50 squeezed enough that the cache must evict constantly."""
+    net = resnet50(batch=64)
+    cap = net.total_param_bytes() + 2 * GiB
+    ex = Executor(net, RuntimeConfig.superneurons(
+        concrete=False, cache_policy=policy, gpu_capacity=cap,
+        workspace_policy=WorkspacePolicy.NONE))
+    r = ex.run_iteration(0)
+    out = (img_per_sec(net, r), r.d2h_bytes + r.h2d_bytes, r.cache_evictions)
+    ex.close()
+    return out
+
+
+def _measure_policies():
+    tab = Table("Ablation: cache eviction policy (ResNet50 b=64, "
+                "params+2GB device)",
+                ["policy", "img/s", "traffic (GB)", "evictions"])
+    out = {}
+    for policy in ("lru", "fifo", "lfu"):
+        speed, traffic, ev = _policy_run(policy)
+        out[policy] = (speed, traffic, ev)
+        tab.add(policy, f"{speed:.1f}", f"{traffic / GiB:.2f}", ev)
+    write_result("ablation_eviction_policy", tab.render())
+    return out
+
+
+def test_ablation_eviction_policy(benchmark):
+    out = once(benchmark, _measure_policies)
+    # every policy must actually evict under this pressure
+    for policy, (_s, traffic, ev) in out.items():
+        assert ev > 0 and traffic > 0, policy
+    # the paper's LRU choice: backward's head-to-tail reuse pattern makes
+    # LRU at least as traffic-efficient as FIFO here
+    assert out["lru"][1] <= out["fifo"][1] * 1.05
+
+
+# --- 2. pinned vs pageable ---------------------------------------------------
+
+def _pinned_run(pinned: bool):
+    net = alexnet(batch=512, image=227)
+    ex = Executor(net, RuntimeConfig.liveness_offload(
+        concrete=False, pinned_host=pinned,
+        workspace_policy=WorkspacePolicy.NONE))
+    r = ex.run_iteration(0)
+    out = (img_per_sec(net, r), r.stall_seconds)
+    ex.close()
+    return out
+
+
+def _measure_pinned():
+    tab = Table("Ablation: pinned vs pageable host staging "
+                "(AlexNet b=512, eager offload)",
+                ["staging", "img/s", "stall (ms)"])
+    out = {}
+    for pinned in (True, False):
+        speed, stall = _pinned_run(pinned)
+        out[pinned] = (speed, stall)
+        tab.add("pinned" if pinned else "pageable", f"{speed:.1f}",
+                f"{stall * 1e3:.1f}")
+    write_result("ablation_pinned", tab.render())
+    return out
+
+
+def test_ablation_pinned_staging(benchmark):
+    out = once(benchmark, _measure_pinned)
+    speed_pinned, _ = out[True]
+    speed_pageable, stall_pageable = out[False]
+    # the paper's TF critique quantified: pageable staging is visibly
+    # slower under the same offload schedule
+    assert speed_pageable < speed_pinned
+    assert stall_pageable >= out[True][1]
+
+
+# --- 3. external pool choice -------------------------------------------------
+
+def _pool_run(pools, label):
+    net = alexnet(batch=512, image=227)
+    ex = Executor(net, RuntimeConfig.liveness_offload(
+        concrete=False, external_pools=pools,
+        workspace_policy=WorkspacePolicy.NONE))
+    r = ex.run_iteration(0)
+    out = img_per_sec(net, r)
+    ex.close()
+    return out
+
+
+def _measure_pools():
+    tab = Table("Ablation: UTP external pool (AlexNet b=512, eager offload)",
+                ["pool", "img/s"])
+    out = {}
+    for label, pools in (("local CPU (8 GB/s)", (LOCAL_CPU,)),
+                         ("peer GPU (10 GB/s)", (PEER_GPU,)),
+                         ("remote RDMA (6 GB/s)", (REMOTE_RDMA,))):
+        out[label] = _pool_run(pools, label)
+        tab.add(label, f"{out[label]:.1f}")
+    write_result("ablation_pools", tab.render())
+    return out
+
+
+def test_ablation_external_pools(benchmark):
+    out = once(benchmark, _measure_pools)
+    # faster fabric, faster (or equal) training; ordering follows the
+    # paper's quoted link speeds
+    assert out["peer GPU (10 GB/s)"] >= out["local CPU (8 GB/s)"]
+    assert out["local CPU (8 GB/s)"] >= out["remote RDMA (6 GB/s)"]

@@ -1,0 +1,52 @@
+"""Fig. 8 — % of execution time and memory usage by layer type.
+
+Paper: CONV dominates compute (>50% everywhere, with FC adding more),
+while POOL+ACT+BN+LRN hold roughly half the memory at <20% of the time —
+the asymmetry that justifies offloading CONV and recomputing the rest.
+"""
+
+from repro.analysis import memory_breakdown_by_type, time_breakdown_by_type
+from repro.analysis.report import Table
+
+from benchmarks.common import PAPER_NETWORKS, once, write_result
+
+CHEAP = ("POOL", "ACT", "BN", "LRN")
+
+
+def _measure():
+    ttab = Table("Fig. 8a: % execution time by layer type",
+                 ["network", "CONV", "FC", "POOL", "ACT", "BN", "LRN",
+                  "other"])
+    mtab = Table("Fig. 8b: % memory usage by layer type",
+                 ["network", "CONV", "FC", "POOL", "ACT", "BN", "LRN",
+                  "other"])
+    out = {}
+    for name, (builder, kw) in PAPER_NETWORKS.items():
+        net = builder(**kw)
+        t = time_breakdown_by_type(net)
+        m = memory_breakdown_by_type(net)
+        out[name] = (t, m)
+        for tab, d in ((ttab, t), (mtab, m)):
+            main = {k: d.get(k, 0.0) for k in
+                    ("CONV", "FC", "POOL", "ACT", "BN", "LRN")}
+            other = 100.0 - sum(main.values())
+            tab.add(name, *(f"{main[k]:.1f}" for k in main), f"{other:.1f}")
+    write_result("fig08_breakdown", ttab.render() + "\n\n" + mtab.render())
+    return out
+
+
+def test_fig08_breakdown(benchmark):
+    out = once(benchmark, _measure)
+    for name, (t, m) in out.items():
+        conv_time = t.get("CONV", 0.0)
+        cheap_time = sum(t.get(k, 0.0) for k in CHEAP)
+        cheap_mem = sum(m.get(k, 0.0) for k in CHEAP)
+        # paper shape 1: CONV dominates time
+        assert conv_time > 50.0, f"{name}: CONV time {conv_time:.1f}% <= 50%"
+        # paper shape 2: the cheap layers hold lots of memory...
+        assert cheap_mem > 30.0, f"{name}: cheap-layer mem {cheap_mem:.1f}%"
+        # ...at a small fraction of the time
+        assert cheap_time < 35.0, f"{name}: cheap-layer time {cheap_time:.1f}%"
+        # paper shape 3: memory share of cheap layers far exceeds their
+        # time share (the recomputation opportunity)
+        assert cheap_mem > 1.5 * cheap_time, name

@@ -1,0 +1,61 @@
+"""Fig. 13 — memory demand (Σ l_f + Σ l_b) at each framework's peak batch.
+
+Paper: translating Table 5's peak batches into bytes shows SuperNeurons
+handling up to 19.8x more model state than Caffe on the same 12 GB card
+(the translation is nonlinear because of convolution workspaces).
+"""
+
+from repro.analysis.report import Table
+
+from benchmarks.common import (
+    FRAMEWORK_ORDER,
+    GiB,
+    PAPER_NETWORKS,
+    cached_max_batch,
+    once,
+    write_result,
+)
+
+NETS = ["alexnet", "vgg16", "inception_v4", "resnet50", "resnet101",
+        "resnet152"]
+
+
+def _demand(net_name: str, batch: int) -> float:
+    builder, kw = PAPER_NETWORKS[net_name]
+    kw = {k: v for k, v in kw.items() if k != "batch"}
+    net = builder(batch=batch, **kw)
+    return (net.baseline_peak_bytes() + net.total_param_bytes()) / GiB
+
+
+def _measure():
+    tab = Table("Fig. 13: memory cost (GB) at the Table-5 peak batches",
+                ["network"] + FRAMEWORK_ORDER + ["SN/caffe"])
+    out = {}
+    for net in NETS:
+        row = [net]
+        for fw in FRAMEWORK_ORDER:
+            b = cached_max_batch(fw, net)
+            gb = _demand(net, b) if b else 0.0
+            out[(net, fw)] = gb
+            row.append(f"{gb:.1f}")
+        ratio = out[(net, "superneurons")] / max(out[(net, "caffe")], 1e-9)
+        row.append(f"{ratio:.1f}x")
+        tab.add(*row)
+    write_result("fig13_memory_cost", tab.render())
+    return out
+
+
+def test_fig13_memory_cost(benchmark):
+    out = once(benchmark, _measure)
+    for net in NETS:
+        sn = out[(net, "superneurons")]
+        # paper shape 1: SuperNeurons' handled model state dwarfs the
+        # 12 GB device on every network
+        assert sn > 12.0, f"{net}: only {sn:.1f} GB handled"
+        # paper shape 2: and strictly exceeds every baseline's
+        for fw in FRAMEWORK_ORDER[:-1]:
+            assert sn > out[(net, fw)], (net, fw)
+    # paper shape 3: the largest multiple over Caffe is severalfold
+    best = max(out[(net, "superneurons")] /
+               max(out[(net, "caffe")], 1e-9) for net in NETS)
+    assert best > 3.0, f"max SN/caffe ratio only {best:.1f}x"

@@ -1,0 +1,46 @@
+"""Table 4 — going deeper: deepest trainable ResNet per framework.
+
+Paper (batch 16, 12 GB K40): Caffe 148, Torch 152, MXNet 480,
+TensorFlow 592, SuperNeurons 1920 — i.e. 12.9x/12.6x/4.0x/3.2x deeper.
+ResNet depth follows the paper's formula 3*(n1+n2+n3+n4)+2 with
+n1=6, n2=32, n4=6 fixed and n3 swept.
+
+The probe caps n3 at 1024 (depth 3206) to bound bench wall-time; a
+framework that still fits there reports the cap (SuperNeurons does).
+"""
+
+from repro.analysis.report import Table
+
+from benchmarks.common import FRAMEWORK_ORDER, cached_max_depth, once, write_result
+
+LIMIT_N3 = 1024
+CAP_DEPTH = 3 * (6 + 32 + LIMIT_N3 + 6) + 2
+
+
+def _measure():
+    tab = Table("Table 4: deepest trainable ResNet (batch 16, 12 GB)",
+                ["framework", "max depth", "n3", "vs caffe"])
+    out = {}
+    for fw in FRAMEWORK_ORDER:
+        depth, n3 = cached_max_depth(fw, LIMIT_N3)
+        out[fw] = depth
+        tab.add(fw, f"{depth}{'+' if n3 >= LIMIT_N3 else ''}", n3, "")
+    base = out["caffe"] or 1
+    tab.rows = [[r[0], r[1], r[2], f"{out[r[0]] / base:.1f}x"]
+                for r in tab.rows]
+    write_result("table4_deeper", tab.render())
+    return out
+
+
+def test_table4_deeper(benchmark):
+    out = once(benchmark, _measure)
+    # paper shape 1: SuperNeurons trains far deeper than every baseline
+    for fw in ("caffe", "torch", "mxnet", "tensorflow"):
+        assert out["superneurons"] >= 3 * out[fw], \
+            f"superneurons {out['superneurons']} vs {fw} {out[fw]}"
+    # paper shape 2: the static-sharing frameworks are the shallowest
+    assert out["caffe"] <= out["mxnet"]
+    assert out["torch"] <= out["tensorflow"]
+    # paper shape 3: every framework manages at least ResNet-50-scale
+    for fw, depth in out.items():
+        assert depth >= 50, f"{fw} cannot even fit depth 50 ({depth})"

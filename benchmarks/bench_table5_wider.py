@@ -1,0 +1,54 @@
+"""Table 5 — going wider: largest trainable batch per framework.
+
+Paper (12 GB K40):
+            Caffe  MXNet  Torch  TF    SuperNeurons
+AlexNet     768    768    1024   1408  1792
+VGG16       48     64     48     80    224
+InceptionV4 16     N/A    N/A    64    240
+ResNet50    24     80     32     128   384
+ResNet101   16     48     16     80    256
+ResNet152   16     32     16     48    176
+
+SuperNeurons averages 1.89x the second best.
+"""
+
+from repro.analysis.report import Table
+
+from benchmarks.common import FRAMEWORK_ORDER, cached_max_batch, once, write_result
+
+NETS = ["alexnet", "vgg16", "inception_v4", "resnet50", "resnet101",
+        "resnet152"]
+
+
+def _measure():
+    tab = Table("Table 5: largest trainable batch (12 GB)",
+                ["network"] + FRAMEWORK_ORDER)
+    out = {}
+    for net in NETS:
+        row = [net]
+        for fw in FRAMEWORK_ORDER:
+            b = cached_max_batch(fw, net)
+            out[(net, fw)] = b
+            row.append(b)
+        tab.add(*row)
+    write_result("table5_wider", tab.render())
+    return out
+
+
+def test_table5_wider(benchmark):
+    out = once(benchmark, _measure)
+    # paper shape 1: SuperNeurons fits the largest batch on every network
+    for net in NETS:
+        best_other = max(out[(net, fw)] for fw in FRAMEWORK_ORDER[:-1])
+        assert out[(net, "superneurons")] > best_other, \
+            f"{net}: superneurons {out[(net, 'superneurons')]} " \
+            f"vs best baseline {best_other}"
+    # paper shape 2: on average well over the second best
+    ratios = []
+    for net in NETS:
+        best_other = max(out[(net, fw)] for fw in FRAMEWORK_ORDER[:-1])
+        ratios.append(out[(net, "superneurons")] / best_other)
+    assert sum(ratios) / len(ratios) > 1.3, ratios
+    # paper shape 3: static frameworks trail the DAG-based ones
+    for net in ("resnet50", "resnet101", "resnet152"):
+        assert out[(net, "caffe")] <= out[(net, "tensorflow")]

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Going deeper: how deep a ResNet fits on a 12 GB GPU per framework.
+
+Reproduces the paper's Table-4 experiment interactively (in simulated
+mode — descriptor-only, so thousands of layers probe in seconds).  The
+ResNet depth follows the paper's formula ``3*(n1+n2+n3+n4)+2`` with
+``n1=6, n2=32, n4=6`` fixed and ``n3`` swept.
+
+Usage::
+
+    python examples/deep_resnet_probe.py [--limit-n3 256]
+"""
+
+import argparse
+
+from repro.frameworks import FRAMEWORKS, framework_config
+from repro.frameworks.probe import max_resnet_depth
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--limit-n3", type=int, default=256,
+                    help="probe ceiling for the n3 sweep (default 256; "
+                         "the full Table-4 bench uses 1024)")
+    ap.add_argument("--batch", type=int, default=16)
+    args = ap.parse_args()
+
+    print(f"deepest trainable ResNet at batch {args.batch} on 12 GB "
+          f"(n3 capped at {args.limit_n3})\n")
+    results = {}
+    for fw, model in FRAMEWORKS.items():
+        depth, n3 = max_resnet_depth(
+            lambda fw=fw: framework_config(fw, concrete=False),
+            batch=args.batch, limit_n3=args.limit_n3)
+        capped = "+" if n3 >= args.limit_n3 else ""
+        results[fw] = depth
+        print(f"  {model.name:14s} depth {depth}{capped:1s}   ({model.notes})")
+
+    base = max(v for k, v in results.items() if k != "superneurons")
+    print(f"\nSuperNeurons trains "
+          f"{results['superneurons'] / base:.1f}x deeper than the best "
+          f"baseline (paper: 3.24x deeper than TensorFlow).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Visualize the stepwise memory schedule (paper Fig. 10) as ASCII art.
+
+Runs AlexNet (batch 200, simulated mode) under the three optimization
+levels and plots per-step activation memory, annotating the peak step.
+
+Usage::
+
+    python examples/memory_timeline.py [--batch 200]
+"""
+
+import argparse
+
+from repro.core.config import RuntimeConfig, WorkspacePolicy
+from repro.core.runtime import Executor
+from repro.zoo import alexnet
+
+MiB = 1024 * 1024
+WIDTH = 60
+
+
+def bar(value: float, vmax: float) -> str:
+    n = int(WIDTH * value / vmax) if vmax else 0
+    return "#" * n
+
+
+def run(name: str, cfg: RuntimeConfig, batch: int):
+    net = alexnet(batch=batch, image=227)
+    ex = Executor(net, cfg)
+    res = ex.run_iteration(0)
+    ex.close()
+    return name, net, res
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--batch", type=int, default=200)
+    args = ap.parse_args()
+
+    runs = [
+        run("liveness only",
+            RuntimeConfig.liveness_only(
+                concrete=False, workspace_policy=WorkspacePolicy.NONE),
+            args.batch),
+        run("liveness + offload/prefetch",
+            RuntimeConfig.liveness_offload(
+                concrete=False, workspace_policy=WorkspacePolicy.NONE),
+            args.batch),
+        run("all three (cost-aware recompute)",
+            RuntimeConfig.superneurons(
+                use_tensor_cache=False, concrete=False,
+                workspace_policy=WorkspacePolicy.NONE),
+            args.batch),
+    ]
+
+    vmax = max(t.activation_high for _n, _net, r in runs for t in r.traces)
+    for name, net, res in runs:
+        peak = max(res.traces, key=lambda t: t.activation_high)
+        print(f"\n=== {name}: peak {peak.activation_high / MiB:.1f} MiB "
+              f"at {peak.label} ===")
+        for t in res.traces:
+            mark = " <-- peak" if t.index == peak.index else ""
+            print(f"{t.label:12s} {t.activation_high / MiB:7.1f} "
+                  f"|{bar(t.activation_high, vmax):{WIDTH}s}|{mark}")
+
+    net = alexnet(batch=args.batch, image=227)
+    print(f"\nmax(l_i) floor: {net.max_layer_bytes() / MiB:.1f} MiB "
+          f"(at batch 200 the all-three peak lands exactly here; at "
+          f"smaller batches FC parameters set the floor instead)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: train a small CNN under the SuperNeurons runtime.
+
+Runs LeNet on synthetic data twice — once with every memory optimization
+disabled (the naive baseline) and once with the full SuperNeurons stack
+(liveness analysis + unified tensor pool with LRU cache + cost-aware
+recomputation + dynamic conv workspaces) — and shows that:
+
+* the losses are IDENTICAL (the optimizations never change the math);
+* the peak GPU memory drops sharply;
+* the simulated iteration time stays competitive.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Executor, RuntimeConfig, SGD
+from repro.zoo import lenet
+
+MiB = 1024 * 1024
+ITERS = 8
+
+
+def train(config: RuntimeConfig, label: str):
+    net = lenet(batch=32, image=28)
+    ex = Executor(net, config)
+    opt = SGD(lr=0.05)
+    losses = []
+    peak = 0
+    sim_time = 0.0
+    for i in range(ITERS):
+        res = ex.run_iteration(i, optimizer=opt)
+        losses.append(res.loss)
+        peak = max(peak, res.activation_peak_bytes)
+        sim_time += res.sim_time
+    ex.close()
+    print(f"{label:22s} final loss {losses[-1]:.4f}  "
+          f"activation peak {peak / MiB:6.2f} MiB  "
+          f"sim time {sim_time * 1e3:7.2f} ms")
+    return losses
+
+
+def main():
+    print(f"Training LeNet for {ITERS} iterations on synthetic data\n")
+    base = train(RuntimeConfig.baseline(), "baseline")
+    full = train(RuntimeConfig.superneurons(), "superneurons")
+
+    assert base == full, "optimizations changed the training trajectory!"
+    print("\nloss trajectories are bit-identical:",
+          " -> ".join(f"{v:.3f}" for v in full))
+    assert full[-1] < full[0], "loss did not decrease"
+    print("loss decreased; the runtime trains correctly under all "
+          "memory optimizations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: the sandbox has no `wheel`, so PEP-660 editable installs
+fail; `setup.py develop` works with plain setuptools."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""SuperNeurons reproduction: dynamic GPU memory management for DNN training.
+
+Public API tour:
+
+>>> from repro import zoo, RuntimeConfig, Executor
+>>> net = zoo.lenet(batch=8)
+>>> ex = Executor(net, RuntimeConfig.superneurons())
+>>> result = ex.run_iteration(0)
+
+See README.md for the full walkthrough and DESIGN.md for how each paper
+subsystem maps onto the packages below.
+"""
+
+from repro.core.config import RecomputeStrategy, RuntimeConfig, WorkspacePolicy
+from repro.core.runtime import Executor, IterationResult
+from repro.graph.network import Net
+from repro.graph.route import ExecutionRoute
+from repro.train.trainer import Trainer
+from repro.train.sgd import SGD
+from repro import zoo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RuntimeConfig",
+    "RecomputeStrategy",
+    "WorkspacePolicy",
+    "Executor",
+    "IterationResult",
+    "Net",
+    "ExecutionRoute",
+    "Trainer",
+    "SGD",
+    "zoo",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Analysis utilities: per-layer-type breakdowns and report tables."""
+
+from repro.analysis.breakdown import (
+    memory_breakdown_by_type,
+    time_breakdown_by_type,
+)
+from repro.analysis.report import Table, format_table, series_to_text
+
+__all__ = [
+    "memory_breakdown_by_type",
+    "time_breakdown_by_type",
+    "Table",
+    "format_table",
+    "series_to_text",
+]

@@ -1,0 +1,49 @@
+"""Per-layer-type execution-time and memory breakdowns (paper Fig. 8).
+
+These percentages are the empirical basis of the whole design: POOL,
+ACT, BN and LRN hold ~50% of the memory but burn <20% of the time
+(→ recompute them), while CONV dominates time (→ checkpoint/offload it,
+and buy its workspaces first).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.device.model import DeviceModel, K40_MODEL
+from repro.graph.network import Net
+from repro.layers.base import LayerType
+from repro.layers.conv import Conv2D
+
+
+def time_breakdown_by_type(
+    net: Net,
+    model: DeviceModel = K40_MODEL,
+    include_backward: bool = True,
+    max_speed_conv: bool = True,
+) -> Dict[str, float]:
+    """% of simulated compute time per layer type (fw + bw)."""
+    totals: Dict[str, float] = {}
+    for layer in net.layers:
+        if isinstance(layer, Conv2D) and max_speed_conv:
+            algo = layer.max_speed_algo(model)
+            t = layer.sim_time_forward(model, algo)
+            if include_backward:
+                t += layer.sim_time_backward(model, algo)
+        else:
+            t = layer.sim_time_forward(model)
+            if include_backward:
+                t += layer.sim_time_backward(model)
+        totals[layer.ltype.value] = totals.get(layer.ltype.value, 0.0) + t
+    grand = sum(totals.values())
+    return {k: 100.0 * v / grand for k, v in sorted(totals.items())}
+
+
+def memory_breakdown_by_type(net: Net) -> Dict[str, float]:
+    """% of functional-tensor memory per layer type (l_f + l_b)."""
+    totals: Dict[str, float] = {}
+    for layer in net.layers:
+        b = layer.l_f() + layer.l_b()
+        totals[layer.ltype.value] = totals.get(layer.ltype.value, 0) + b
+    grand = sum(totals.values())
+    return {k: 100.0 * v / grand for k, v in sorted(totals.items())}

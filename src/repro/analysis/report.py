@@ -1,0 +1,57 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The paper's artifacts are tables and line plots; the benches print both
+as monospace text so ``pytest benchmarks/ --benchmark-only`` output *is*
+the reproduction record (EXPERIMENTS.md embeds these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    cols = [str(c) for c in columns]
+    str_rows = [[str(c) for c in r] for r in rows]
+    widths = [len(c) for c in cols]
+    for r in str_rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==",
+             " | ".join(c.ljust(w) for c, w in zip(cols, widths)),
+             sep]
+    for r in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def series_to_text(title: str, xs: Sequence, series: Dict[str, Sequence],
+                   x_label: str = "x") -> str:
+    """Render named series over shared x values (the Fig. 14 format)."""
+    cols = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            v = series[name][i] if i < len(series[name]) else None
+            row.append("-" if v is None else v)
+        rows.append(row)
+    return format_table(title, cols, rows)

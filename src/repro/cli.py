@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``report``  — run one network under a framework config and print the
+              iteration report (peak bytes, traffic, workspaces, time).
+``trace``   — print the stepwise memory trace (the Fig. 10 curve).
+``probe``   — largest batch (or deepest ResNet) before OOM.
+``breakdown`` — Fig. 8-style time/memory percentages by layer type.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import memory_breakdown_by_type, time_breakdown_by_type
+from repro.analysis.report import Table
+from repro.core.runtime import Executor
+from repro.frameworks import FRAMEWORKS, framework_config
+from repro.frameworks.probe import max_batch, max_resnet_depth, try_run
+from repro.zoo import NETWORK_BUILDERS
+
+MiB = 1024 * 1024
+GiB = 1024 * MiB
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--net", choices=sorted(NETWORK_BUILDERS), default="alexnet")
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--framework", choices=sorted(FRAMEWORKS),
+                   default="superneurons")
+    p.add_argument("--gpu-gb", type=float, default=12.0,
+                   help="device DRAM capacity in GiB")
+
+
+def _config(args):
+    return framework_config(
+        args.framework, concrete=False,
+        gpu_capacity=int(args.gpu_gb * GiB),
+    )
+
+
+def cmd_report(args) -> int:
+    net = NETWORK_BUILDERS[args.net](batch=args.batch)
+    res = try_run(net, _config(args))
+    if res is None:
+        print(f"{args.net} (batch {args.batch}) does NOT fit "
+              f"{args.gpu_gb:g} GiB under {args.framework}")
+        return 1
+    print(f"network      : {args.net} (batch {args.batch}, "
+          f"{len(net)} layers)")
+    print(f"framework    : {args.framework}")
+    print(f"peak memory  : {res.peak_bytes / MiB:.1f} MiB "
+          f"({res.activation_peak_bytes / MiB:.1f} MiB activations)")
+    print(f"sim time     : {res.sim_time * 1e3:.2f} ms/iter "
+          f"({args.batch / res.sim_time:.1f} img/s)")
+    print(f"offload      : {res.d2h_bytes / MiB:.1f} MiB out, "
+          f"{res.h2d_bytes / MiB:.1f} MiB back, "
+          f"stall {res.stall_seconds * 1e3:.2f} ms")
+    print(f"recompute    : {res.extra_forwards} extra forwards")
+    print(f"allocator    : {res.alloc_calls} calls, "
+          f"{res.alloc_overhead * 1e3:.2f} ms overhead")
+    if res.workspace_choices:
+        got = sum(w.got_max_speed for w in res.workspace_choices)
+        print(f"workspaces   : {got}/{len(res.workspace_choices)} conv "
+              f"executions at max-speed algorithm")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    net = NETWORK_BUILDERS[args.net](batch=args.batch)
+    ex = Executor(net, _config(args))
+    res = ex.run_iteration(0)
+    ex.close()
+    tab = Table(f"stepwise memory: {args.net} b={args.batch} "
+                f"({args.framework})",
+                ["step", "label", "high (MiB)", "settled (MiB)", "live"])
+    for t in res.traces:
+        tab.add(t.index, t.label, f"{t.activation_high / MiB:.1f}",
+                f"{t.activation_settled / MiB:.1f}", t.live_tensors)
+    print(tab.render())
+    return 0
+
+
+def cmd_probe(args) -> int:
+    factory = lambda: _config(args)
+    if args.depth:
+        depth, n3 = max_resnet_depth(factory, batch=args.batch,
+                                     limit_n3=args.limit)
+        print(f"deepest ResNet under {args.framework} at batch "
+              f"{args.batch}: depth {depth} (n3={n3})")
+    else:
+        builder = NETWORK_BUILDERS[args.net]
+        b = max_batch(builder, factory, start=2, limit=args.limit)
+        print(f"largest {args.net} batch under {args.framework}: {b}")
+    return 0
+
+
+def cmd_breakdown(args) -> int:
+    net = NETWORK_BUILDERS[args.net](batch=args.batch)
+    t = time_breakdown_by_type(net)
+    m = memory_breakdown_by_type(net)
+    tab = Table(f"breakdown: {args.net} b={args.batch}",
+                ["layer type", "% time", "% memory"])
+    for k in sorted(set(t) | set(m)):
+        tab.add(k, f"{t.get(k, 0):.1f}", f"{m.get(k, 0):.1f}")
+    print(tab.render())
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="one-iteration report")
+    _add_common(p)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("trace", help="stepwise memory trace")
+    _add_common(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("probe", help="largest batch / deepest ResNet")
+    _add_common(p)
+    p.add_argument("--depth", action="store_true",
+                   help="probe ResNet depth instead of batch size")
+    p.add_argument("--limit", type=int, default=512)
+    p.set_defaults(fn=cmd_probe)
+
+    p = sub.add_parser("breakdown", help="Fig. 8 style layer-type shares")
+    _add_common(p)
+    p.set_defaults(fn=cmd_breakdown)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The paper's contribution: the dynamic GPU memory scheduling runtime.
+
+Composition (paper §3):
+
+* :mod:`~repro.core.liveness` — per-step live-tensor sets; frees tensors
+  the moment no later step reads them.
+* :mod:`~repro.core.utp` — Unified Tensor Pool: offloads checkpoint
+  outputs to pinned host RAM during the forward pass, prefetches them
+  back ahead of their backward consumers.
+* :mod:`~repro.core.cache` — LRU tensor cache (Alg. 2): keeps tensors on
+  the GPU while room remains, turning offload into eviction-on-pressure.
+* :mod:`~repro.core.recompute` — segment-wise recomputation planning
+  (speed-centric / memory-centric / cost-aware).
+* :mod:`~repro.core.workspace` — per-step convolution algorithm choice
+  under the memory left after the functional tensors are placed.
+* :mod:`~repro.core.runtime` — the executor gluing it all together,
+  with a byte-accurate trace of every step.
+"""
+
+from repro.core.config import RuntimeConfig, RecomputeStrategy, WorkspacePolicy
+from repro.core.liveness import LivenessPlan, LivenessAnalysis
+from repro.core.recompute import RecomputePlan, Segment, plan_segments
+from repro.core.cache import TensorCache
+from repro.core.runtime import Executor, IterationResult, StepTrace
+from repro.core.workspace import WorkspaceSelector, WorkspaceChoice
+
+__all__ = [
+    "RuntimeConfig",
+    "RecomputeStrategy",
+    "WorkspacePolicy",
+    "LivenessPlan",
+    "LivenessAnalysis",
+    "RecomputePlan",
+    "Segment",
+    "plan_segments",
+    "TensorCache",
+    "Executor",
+    "IterationResult",
+    "StepTrace",
+    "WorkspaceSelector",
+    "WorkspaceChoice",
+]

@@ -1,0 +1,819 @@
+"""The SuperNeurons executor: one training iteration under a config.
+
+This is the runtime of paper §3 in one place.  A single step loop walks
+the execution route; each optimization hooks a different moment of it:
+
+* **liveness** — after every step, tensors past their last use are freed
+  (plan precomputed by :class:`~repro.core.liveness.LivenessAnalysis`);
+* **UTP offload/prefetch** — checkpoint outputs are copied to host on
+  the D2H stream during the forward pass (eager mode) or evicted on
+  pressure (cache mode); backward CONV steps prefetch the tensors the
+  *previous* CONV layer's backward will need on the H2D stream;
+* **recomputation** — backward steps that need a freed recomputable
+  tensor re-run the segment forward from its checkpoint anchor;
+* **dynamic workspaces** — every conv execution picks the fastest
+  algorithm whose workspace fits the bytes currently free.
+
+The executor runs identically in concrete mode (NumPy payloads, used to
+prove numerical equivalence) and simulated mode (byte/time ledger only,
+used for 12 GB-scale capacity and speed benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.cache import TensorCache
+from repro.core.config import RecomputeStrategy, RuntimeConfig, WorkspacePolicy
+from repro.core.liveness import LivenessAnalysis, LivenessPlan
+from repro.core.recompute import RecomputePlan, plan_segments
+from repro.core.workspace import WorkspaceChoice, WorkspaceSelector
+from repro.device.dma import CopyDirection, DMAEngine
+from repro.device.fabric import MemoryFabric
+from repro.device.gpu import OutOfMemoryError, SimulatedGPU
+from repro.device.model import DeviceModel
+from repro.device.timeline import Event, Stream, Timeline
+from repro.graph.network import Net
+from repro.graph.route import ExecutionRoute, Phase, Step
+from repro.layers.base import Layer, LayerContext, LayerType
+from repro.layers.conv import Conv2D
+from repro.layers.data import DataLayer
+from repro.layers.softmax import SoftmaxLoss
+from repro.mempool.allocator import Allocation, CudaAllocator, PoolAllocator
+from repro.tensors.store import ArrayStore, NullStore
+from repro.tensors.tensor import Placement, Tensor, TensorKind
+
+
+@dataclass
+class StepTrace:
+    """Byte-accurate record of one step (drives Fig. 10)."""
+
+    index: int
+    label: str
+    phase: str
+    used_high: int        # allocator bytes at the step's high-water point
+    used_settled: int     # after the step's frees
+    activation_high: int  # same minus the persistent parameter footprint
+    activation_settled: int
+    live_tensors: int
+    workspace: Optional[WorkspaceChoice] = None
+
+
+@dataclass
+class IterationResult:
+    """Everything one iteration reports."""
+
+    iteration: int
+    loss: Optional[float]
+    sim_time: float
+    peak_bytes: int
+    activation_peak_bytes: int
+    param_bytes: int
+    traces: List[StepTrace] = field(default_factory=list)
+    d2h_bytes: int = 0
+    h2d_bytes: int = 0
+    alloc_calls: int = 0
+    alloc_overhead: float = 0.0
+    extra_forwards: int = 0
+    stall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    workspace_choices: List[WorkspaceChoice] = field(default_factory=list)
+
+    @property
+    def offload_traffic_bytes(self) -> int:
+        return self.d2h_bytes + self.h2d_bytes
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (traces flattened to plain dicts)."""
+        return {
+            "iteration": self.iteration,
+            "loss": self.loss,
+            "sim_time": self.sim_time,
+            "peak_bytes": self.peak_bytes,
+            "activation_peak_bytes": self.activation_peak_bytes,
+            "param_bytes": self.param_bytes,
+            "d2h_bytes": self.d2h_bytes,
+            "h2d_bytes": self.h2d_bytes,
+            "alloc_calls": self.alloc_calls,
+            "alloc_overhead": self.alloc_overhead,
+            "extra_forwards": self.extra_forwards,
+            "stall_seconds": self.stall_seconds,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses,
+                      "evictions": self.cache_evictions},
+            "traces": [
+                {
+                    "index": t.index,
+                    "label": t.label,
+                    "phase": t.phase,
+                    "used_high": t.used_high,
+                    "used_settled": t.used_settled,
+                    "activation_high": t.activation_high,
+                    "activation_settled": t.activation_settled,
+                    "live_tensors": t.live_tensors,
+                    "workspace": None if t.workspace is None else {
+                        "layer": t.workspace.layer_name,
+                        "phase": t.workspace.phase,
+                        "algo": t.workspace.algo.name,
+                        "assigned_ws": t.workspace.assigned_ws,
+                        "max_speed_ws": t.workspace.max_speed_ws,
+                    },
+                }
+                for t in self.traces
+            ],
+        }
+
+
+@dataclass
+class _PendingOffload:
+    tensor: Tensor
+    event: Event
+    allocation: Allocation
+
+
+class RecomputeEngine:
+    """Demand-driven segment recomputation (paper §3.4 strategies)."""
+
+    def __init__(self, executor: "Executor", plan: RecomputePlan):
+        self.ex = executor
+        self.plan = plan
+        self.extra_forwards = 0
+        # speed-centric persistents: tensor_id -> (tensor, free_after_step)
+        self._kept: Dict[int, Tuple[Tensor, int]] = {}
+        self._materialized: Set[int] = set()  # id(segment anchors) done
+        self._transient: List[Tensor] = []
+
+    def reset_iteration(self) -> None:
+        self._kept.clear()
+        self._materialized.clear()
+        self._transient.clear()
+
+    # -- public hooks -----------------------------------------------------
+    def ensure(self, missing: List[Tensor], ctx: LayerContext) -> None:
+        """Make every tensor in ``missing`` resident by recomputation."""
+        for t in missing:
+            if t.is_live:
+                continue
+            producer = self.ex.net.layers[t.producer]
+            if not producer.is_recomputable:
+                raise RuntimeError(
+                    f"tensor {t.name} was freed but its producer "
+                    f"{producer.name} is not recomputable — scheduling bug"
+                )
+            seg = self.plan.segment_of.get(producer.layer_id)
+            if seg is None:
+                raise RuntimeError(f"{producer.name} not in any segment")
+            if seg.strategy is RecomputeStrategy.SPEED_CENTRIC:
+                self._materialize_segment(seg, ctx)
+            else:
+                self._chain_to(producer, ctx, targets={t.tensor_id})
+
+    def after_step(self, step_index: int) -> None:
+        """Free transients and expired speed-centric persistents."""
+        for t in self._transient:
+            if t.is_live:
+                self.ex._discard(t)
+        self._transient.clear()
+        expired = [tid for tid, (_t, fa) in self._kept.items()
+                   if fa <= step_index]
+        for tid in expired:
+            t, _fa = self._kept.pop(tid)
+            if t.is_live:
+                self.ex._discard(t)
+
+    # -- strategies ------------------------------------------------------------
+    def _materialize_segment(self, seg, ctx: LayerContext) -> None:
+        """Speed-centric: re-run every member once, keep the results."""
+        if id(seg) in self._materialized:
+            # Already rebuilt this iteration; any member freed since then
+            # had passed its backward use, so nothing more to do.
+            return
+        self._materialized.add(id(seg))
+        for member in seg.members:
+            if member.output is not None and member.output.is_live:
+                continue
+            self._run_forward(member, ctx)
+            bstep = self.ex.route.bstep_of[member.layer_id]
+            self._kept[member.output.tensor_id] = (member.output, bstep)
+        self._release_offloaded_anchor(seg)
+
+    def _release_offloaded_anchor(self, seg) -> None:
+        """Drop the anchor's GPU copy once the chain has consumed it.
+
+        The anchor stays in host RAM (it was offloaded); its own
+        backward will prefetch it again.  Without this, the anchor
+        inflates the segment-backward working set above l_peak —
+        the paper's measured AlexNet peak (exactly 4 tensors at LRN1's
+        backward) implies their runtime releases it too.
+        """
+        out = seg.anchor.output
+        if out is not None and out.on_gpu and out.host_resident \
+                and not out.locked:
+            self.ex._free_gpu_only(out)
+
+    def _chain_to(self, target_layer: Layer, ctx: LayerContext,
+                  targets: Set[int]) -> None:
+        """Memory-centric: rebuild anchor→target, dropping intermediates
+        as soon as their chain consumer has run."""
+        chain = self._chain_layers(target_layer)
+        produced: List[Tensor] = []
+        for i, member in enumerate(chain):
+            if member.output is not None and member.output.is_live:
+                continue
+            self._run_forward(member, ctx)
+            produced.append(member.output)
+            # inputs that no later chain layer reads can go immediately
+            still_needed = {
+                inp.tensor_id
+                for later in chain[i + 1:]
+                for inp in (p.output for p in later.prev)
+            }
+            for t in list(produced):
+                if t.tensor_id in targets or t.tensor_id in still_needed:
+                    continue
+                if t.tensor_id == member.output.tensor_id:
+                    continue
+                self.ex._discard(t)
+                produced.remove(t)
+        # whatever remains (the targets) lives only through this step
+        self._transient.extend(p for p in produced if p.is_live)
+        self._release_offloaded_anchor(
+            self.plan.segment_of[target_layer.layer_id])
+
+    def _chain_layers(self, target_layer: Layer) -> List[Layer]:
+        """Members between the segment anchor and ``target_layer``, in
+        forward route order (the re-execution schedule)."""
+        seg = self.plan.segment_of[target_layer.layer_id]
+        out: List[Layer] = []
+        for m in seg.members:
+            out.append(m)
+            if m.layer_id == target_layer.layer_id:
+                break
+        return out
+
+    # -- the actual re-execution --------------------------------------------------
+    def _run_forward(self, layer: Layer, ctx: LayerContext) -> None:
+        ex = self.ex
+        for p in layer.prev:
+            if not p.output.is_live:
+                # nested dependency (e.g. a join reading another branch):
+                # resolve recursively through the normal path
+                self.ensure([p.output], ctx)
+            ex._make_gpu_resident(p.output)
+            p.output.lock()
+        ex._gpu_alloc_tensor(layer.output)
+        layer.output.lock()
+        ex.timeline.submit(
+            Stream.COMPUTE,
+            layer.sim_time_forward(ex.model),
+            f"recompute:{layer.name}",
+        )
+        if ex.concrete:
+            ins = [ex.store.get_required(p.output) for p in layer.prev]
+            out = layer.forward(ins, ctx)
+            ex.store.put(layer.output, out)
+        for p in layer.prev:
+            p.output.unlock()
+        layer.output.unlock()
+        self.extra_forwards += 1
+
+
+class Executor:
+    """Runs training iterations of one network under one config."""
+
+    def __init__(self, net: Net, config: Optional[RuntimeConfig] = None):
+        self.net = net.build()
+        self.config = config or RuntimeConfig()
+        cfg = self.config
+        self.concrete = cfg.concrete
+        self.model: DeviceModel = cfg.device
+
+        self.gpu = SimulatedGPU(self.model)
+        if cfg.gpu_capacity is not None:
+            self.gpu.capacity = cfg.gpu_capacity
+        self.timeline = Timeline()
+        self.dma = DMAEngine(self.timeline, self.model, pinned=cfg.pinned_host)
+        self.fabric = MemoryFabric(cfg.external_pools,
+                                   pinned=cfg.pinned_host)
+        if cfg.use_pool_allocator:
+            self.allocator = PoolAllocator(
+                self.gpu, self.timeline, slab_bytes=cfg.pool_slab_bytes
+            )
+        else:
+            self.allocator = CudaAllocator(self.gpu, self.timeline)
+        self.store = ArrayStore() if self.concrete else NullStore()
+
+        self.route = ExecutionRoute(self.net)
+        self.recompute_plan = plan_segments(
+            self.route, cfg.recompute, self.net.max_layer_bytes()
+        )
+        self.liveness = LivenessAnalysis(self.route, cfg, self.recompute_plan)
+        self.plan: LivenessPlan = self.liveness.compile()
+        self.engine = RecomputeEngine(self, self.recompute_plan)
+        self.cache = TensorCache(policy=cfg.cache_policy)
+        self.selector = WorkspaceSelector(cfg.workspace_policy, self.model)
+
+        # runtime state
+        self._alloc_of: Dict[int, Allocation] = {}
+        self._pending: List[_PendingOffload] = []
+        self._arrivals: Dict[int, Event] = {}
+        self._live: Set[int] = set()
+        self._stall = 0.0
+        self.param_bytes = 0
+        self._allocate_params()
+
+    # ------------------------------------------------------------------ params
+    def _allocate_params(self) -> None:
+        for layer in self.net.layers:
+            for p in layer.params:
+                a = self.allocator.alloc(p.nbytes, tag=p.name)
+                self._alloc_of[p.tensor_id] = a
+                p.placement = Placement.GPU
+                p.lock()  # params are never evictable
+                self.param_bytes += p.nbytes
+
+    def close(self) -> None:
+        """Free everything (tests create many executors)."""
+        for tid, a in list(self._alloc_of.items()):
+            self.allocator.free(a)
+        self._alloc_of.clear()
+        if isinstance(self.allocator, PoolAllocator):
+            self.allocator.close()
+
+    # ------------------------------------------------------------- allocation
+    def _gpu_alloc_tensor(self, t: Tensor) -> Allocation:
+        """Allocate GPU bytes for ``t``, reaping/evicting under pressure."""
+        if t.tensor_id in self._alloc_of:
+            return self._alloc_of[t.tensor_id]
+        a = self._try_alloc(t.nbytes, t.name)
+        self._alloc_of[t.tensor_id] = a
+        t.placement = Placement.GPU
+        if t.kind in (TensorKind.DATA, TensorKind.GRAD):
+            self._live.add(t.tensor_id)
+        if t.kind is TensorKind.DATA and self.config.use_offload \
+                and self.config.use_tensor_cache:
+            self.cache.insert(t)
+        return a
+
+    def _try_alloc(self, nbytes: int, tag: str) -> Allocation:
+        try:
+            return self.allocator.alloc(nbytes, tag)
+        except OutOfMemoryError:
+            pass
+        # 1) reap any completed eager offloads
+        self._reap_offloads()
+        try:
+            return self.allocator.alloc(nbytes, tag)
+        except OutOfMemoryError:
+            pass
+        # 2) force-complete pending offloads (stalls compute)
+        while self._pending:
+            self._force_reap_one()
+            try:
+                return self.allocator.alloc(nbytes, tag)
+            except OutOfMemoryError:
+                continue
+        # 3) LRU eviction (Alg. 2 LRU.out) if the cache is armed.  The
+        # loop handles fragmentation: freed bytes may not be contiguous,
+        # so keep evicting (coalescing merges holes) until the request
+        # fits or nothing evictable remains.
+        if self.config.use_offload and self.config.use_tensor_cache:
+            while True:
+                freed = self.cache.evict_for(nbytes, self._evict_to_host)
+                try:
+                    return self.allocator.alloc(nbytes, tag)
+                except OutOfMemoryError:
+                    if freed == 0:
+                        raise
+        raise OutOfMemoryError(nbytes, self.allocator.free_bytes,
+                               self.gpu.capacity)
+
+    def _free_gpu_only(self, t: Tensor) -> None:
+        """Drop the GPU copy; host copy (if any) keeps the tensor live."""
+        a = self._alloc_of.pop(t.tensor_id, None)
+        if a is not None:
+            self.allocator.free(a)
+        self.cache.remove(t)
+        if t.host_resident:
+            # keep the bytes: they may still be device-side if the D2H
+            # copy that made the host reservation has not been reaped
+            self.store.move_to_host(t)
+            t.placement = Placement.HOST
+        else:
+            self.store.drop_device(t)
+            t.placement = Placement.FREED
+        if not t.is_live:
+            self._live.discard(t.tensor_id)
+
+    def _discard(self, t: Tensor) -> None:
+        """Free a tensor everywhere (GPU, host, payloads)."""
+        if t.kind is TensorKind.PARAM:
+            return
+        a = self._alloc_of.pop(t.tensor_id, None)
+        if a is not None:
+            self.allocator.free(a)
+        self.cache.remove(t)
+        if t.host_resident:
+            self.fabric.evict(t.tensor_id)
+            t.host_resident = False
+        self.store.drop(t)
+        self._arrivals.pop(t.tensor_id, None)
+        t.placement = Placement.FREED
+        self._live.discard(t.tensor_id)
+
+    # ---------------------------------------------------------------- movement
+    def _evict_to_host(self, t: Tensor) -> int:
+        """Synchronous offload used by LRU eviction; returns bytes freed."""
+        pool = self.fabric.stash(t.tensor_id, t.nbytes)
+        ev = self.dma.copy_async(t.nbytes, CopyDirection.D2H,
+                                 label=f"evict:{t.name}",
+                                 rate_scale=pool.d2h_scale)
+        self._stall += self.timeline.sync(Stream.COMPUTE, ev)
+        t.host_resident = True
+        self.store.move_to_host(t)
+        a = self._alloc_of.pop(t.tensor_id, None)
+        freed = 0
+        if a is not None:
+            self.allocator.free(a)
+            freed = a.nbytes
+        t.placement = Placement.HOST
+        return freed
+
+    def _offload_async(self, t: Tensor, after: Optional[List[Event]] = None) -> None:
+        """Eager UTP offload: D2H overlaps following forward compute."""
+        pool = self.fabric.stash(t.tensor_id, t.nbytes)
+        ev = self.dma.copy_async(t.nbytes, CopyDirection.D2H,
+                                 label=f"offload:{t.name}", after=after,
+                                 rate_scale=pool.d2h_scale)
+        t.host_resident = True
+        a = self._alloc_of.get(t.tensor_id)
+        if a is None:
+            return
+        self._pending.append(_PendingOffload(t, ev, a))
+
+    def _reap_offloads(self) -> None:
+        """Free GPU copies whose D2H transfer has completed by now."""
+        now = self.timeline.now(Stream.COMPUTE)
+        remaining: List[_PendingOffload] = []
+        for p in self._pending:
+            if p.event.time <= now:
+                self._complete_offload(p)
+            else:
+                remaining.append(p)
+        self._pending = remaining
+
+    def _force_reap_one(self) -> None:
+        p = self._pending.pop(0)
+        self._stall += self.timeline.sync(Stream.COMPUTE, p.event)
+        self._complete_offload(p)
+
+    def _complete_offload(self, p: _PendingOffload) -> None:
+        t = p.tensor
+        a = self._alloc_of.pop(t.tensor_id, None)
+        if a is not None:
+            self.allocator.free(a)
+        self.store.move_to_host(t)
+        self.cache.remove(t)
+        t.placement = Placement.HOST
+
+    def _prefetch_async(self, t: Tensor) -> bool:
+        """Start bringing a host tensor back; returns False if no room."""
+        if t.placement is not Placement.HOST or t.tensor_id in self._arrivals:
+            return t.tensor_id in self._arrivals
+        try:
+            a = self.allocator.alloc(t.nbytes, tag=f"prefetch:{t.name}")
+        except OutOfMemoryError:
+            return False
+        self._alloc_of[t.tensor_id] = a
+        pool = self.fabric.pool_of(t.tensor_id)
+        ev = self.dma.copy_async(t.nbytes, CopyDirection.H2D,
+                                 label=f"prefetch:{t.name}",
+                                 rate_scale=pool.h2d_scale if pool else 1.0)
+        self._arrivals[t.tensor_id] = ev
+        t.placement = Placement.GPU
+        self.store.move_to_gpu(t)
+        if t.kind is TensorKind.DATA and self.config.use_offload \
+                and self.config.use_tensor_cache:
+            self.cache.insert(t)
+        return True
+
+    def _make_gpu_resident(self, t: Tensor) -> None:
+        """Block until ``t`` is usable on the GPU."""
+        if t.placement is Placement.GPU:
+            ev = self._arrivals.pop(t.tensor_id, None)
+            if ev is not None:
+                self._stall += self.timeline.sync(Stream.COMPUTE, ev)
+            self.cache.touch(t)
+            return
+        if t.placement is Placement.HOST:
+            a = self._gpu_alloc_tensor(t)  # may evict/reap
+            pool = self.fabric.pool_of(t.tensor_id)
+            ev = self.dma.copy_async(
+                t.nbytes, CopyDirection.H2D, label=f"fetch:{t.name}",
+                rate_scale=pool.h2d_scale if pool else 1.0)
+            self._stall += self.timeline.sync(Stream.COMPUTE, ev)
+            self.store.move_to_gpu(t)
+            t.placement = Placement.GPU
+            return
+        raise RuntimeError(
+            f"tensor {t.name} is {t.placement.value}; cannot make resident"
+        )
+
+    # ------------------------------------------------------------------- grads
+    def _ensure_grad(self, t: Tensor) -> None:
+        if t.tensor_id in self._alloc_of:
+            return
+        self._gpu_alloc_tensor(t)
+        if self.concrete:
+            self.store.put(t, np.zeros(t.shape, dtype=np.float32))
+
+    # ------------------------------------------------------------------ stepping
+    def run_iteration(
+        self,
+        iteration: int = 0,
+        optimizer=None,
+    ) -> IterationResult:
+        cfg = self.config
+        ctx = LayerContext(iteration=iteration, training=True)
+        self.engine.reset_iteration()
+        self.allocator.reset_peak()
+        t0 = self.timeline.elapsed
+        d2h0, h2d0 = self.dma.stats.d2h_bytes, self.dma.stats.h2d_bytes
+        calls0 = self.allocator.stats.calls
+        ovh0 = self.allocator.stats.overhead_seconds
+        hits0, miss0, ev0 = self.cache.hits, self.cache.misses, self.cache.evictions
+        extra0 = self.engine.extra_forwards
+        stall0 = self._stall
+        ws_start = len(self.selector.choices)
+        traces: List[StepTrace] = []
+        n = self.route.num_layers
+
+        for step in self.route.steps:
+            if step.phase is Phase.FORWARD:
+                ws = self._forward_step(step, ctx)
+            else:
+                ws = self._backward_step(step, ctx, optimizer)
+            high = self.allocator.used_bytes
+            # frees scheduled after this step
+            if cfg.use_liveness:
+                for t in self.plan.frees(step.index):
+                    if any(p.tensor is t for p in self._pending):
+                        continue  # eager offload in flight; reap handles it
+                    self._discard(t)
+            self.engine.after_step(step.index)
+            # prefetch-ahead (paper §3.3.1): start the H2D fetch of the
+            # next backward step's host-resident reads so it overlaps
+            # this step's compute.  One-step lookahead rather than the
+            # paper's conv-to-conv horizon, issued after this step's
+            # frees: identical overlap on the timeline (the copy starts
+            # at the same compute timestamp), but tensors land
+            # just-in-time so the measured peak stays at l_peak — which
+            # the paper's own Fig. 10c peak (exactly max(l_i)) requires.
+            if cfg.use_offload and step.phase is Phase.BACKWARD:
+                self._prefetch_ahead(step)
+            traces.append(StepTrace(
+                index=step.index,
+                label=f"{step.layer.name}:{step.phase.value[0]}",
+                phase=step.phase.value,
+                used_high=high,
+                used_settled=self.allocator.used_bytes,
+                activation_high=high - self.param_bytes,
+                activation_settled=self.allocator.used_bytes - self.param_bytes,
+                live_tensors=len(self._live),
+                workspace=ws,
+            ))
+
+        # iteration barrier: drain copies, free whatever is left
+        while self._pending:
+            self._force_reap_one()
+        self.timeline.sync_all()
+        self._end_of_iteration_cleanup()
+
+        loss = None
+        ll = self.net.loss_layer
+        if ll is not None:
+            loss = ll.last_loss
+        return IterationResult(
+            iteration=iteration,
+            loss=loss,
+            sim_time=self.timeline.elapsed - t0,
+            peak_bytes=self.allocator.peak_bytes,
+            activation_peak_bytes=self.allocator.peak_bytes - self.param_bytes,
+            param_bytes=self.param_bytes,
+            traces=traces,
+            d2h_bytes=self.dma.stats.d2h_bytes - d2h0,
+            h2d_bytes=self.dma.stats.h2d_bytes - h2d0,
+            alloc_calls=self.allocator.stats.calls - calls0,
+            alloc_overhead=self.allocator.stats.overhead_seconds - ovh0,
+            extra_forwards=self.engine.extra_forwards - extra0,
+            stall_seconds=self._stall - stall0,
+            cache_hits=self.cache.hits - hits0,
+            cache_misses=self.cache.misses - miss0,
+            cache_evictions=self.cache.evictions - ev0,
+            workspace_choices=self.selector.choices[ws_start:],
+        )
+
+    def _end_of_iteration_cleanup(self) -> None:
+        leftovers = [
+            t for l in self.net.layers
+            for t in ([l.output, l.grad_output] + l.param_grads)
+            if t is not None and t.tensor_id in self._alloc_of
+        ]
+        for t in leftovers:
+            self._discard(t)
+        hosted = [
+            t for l in self.net.layers
+            for t in [l.output]
+            if t is not None and t.host_resident
+        ]
+        for t in hosted:
+            self._discard(t)
+        residual = self.allocator.used_bytes - self.param_bytes
+        if residual != 0:
+            raise RuntimeError(
+                f"iteration leaked {residual} bytes beyond parameters"
+            )
+
+    # -- forward -----------------------------------------------------------------
+    def _forward_step(self, step: Step, ctx: LayerContext) -> Optional[WorkspaceChoice]:
+        layer = step.layer
+        self._reap_offloads()
+        reads = self.route.forward_reads(layer)
+        for t in reads:
+            self._make_gpu_resident(t)
+            t.lock()
+        self._gpu_alloc_tensor(layer.output)
+        layer.output.lock()
+
+        ws_choice: Optional[WorkspaceChoice] = None
+        ws_alloc: Optional[Allocation] = None
+        duration: float
+        if isinstance(layer, Conv2D):
+            ws_choice = self.selector.select(
+                layer, self.allocator.free_bytes, "forward"
+            )
+            if ws_choice.assigned_ws > 0:
+                try:
+                    ws_alloc = self.allocator.alloc(
+                        ws_choice.assigned_ws, tag=f"ws:{layer.name}"
+                    )
+                except OutOfMemoryError:
+                    # fragmentation: fall back to the zero-workspace algo
+                    ws_choice = WorkspaceChoice(
+                        layer.name, "forward",
+                        layer.algorithms(self.model)[0],
+                        self.allocator.free_bytes,
+                        ws_choice.max_speed_algo,
+                    )
+                    self.selector.choices[-1] = ws_choice
+            duration = layer.sim_time_forward(self.model, ws_choice.algo)
+        else:
+            duration = layer.sim_time_forward(self.model)
+
+        ev = self.timeline.submit(Stream.COMPUTE, duration, f"fw:{layer.name}")
+
+        if self.concrete:
+            ins = [self.store.get_required(p.output) for p in layer.prev]
+            out = layer.forward(ins, ctx)
+            self.store.put(layer.output, out)
+            if hasattr(layer, "update_running_stats") and ctx.training:
+                layer.update_running_stats(ins[0])
+
+        if ws_alloc is not None:
+            self.allocator.free(ws_alloc)
+        for t in reads:
+            t.unlock()
+        layer.output.unlock()
+
+        if (
+            self.config.use_offload
+            and not self.config.use_tensor_cache
+            and layer.ltype in self.config.offload_types
+        ):
+            self._offload_async(layer.output, after=[ev])
+        return ws_choice
+
+    # -- backward -------------------------------------------------------------------
+    def _backward_step(
+        self, step: Step, ctx: LayerContext, optimizer
+    ) -> Optional[WorkspaceChoice]:
+        layer = step.layer
+        self._reap_offloads()
+        if isinstance(layer, DataLayer):
+            return None
+
+        fw_needed = self.route.backward_reads(layer)
+        missing = [t for t in fw_needed if not t.is_live]
+        if missing:
+            if not self.recompute_plan.enabled:
+                raise RuntimeError(
+                    f"backward of {layer.name} needs freed tensors "
+                    f"{[t.name for t in missing]} but recomputation is off"
+                )
+            self.engine.ensure(missing, ctx)
+        for t in fw_needed:
+            self._make_gpu_resident(t)
+            t.lock()
+
+        has_grad_in = bool(layer.next)
+        if has_grad_in:
+            self._ensure_grad(layer.grad_output)
+            layer.grad_output.lock()
+
+        grad_targets = [p for p in layer.prev if not isinstance(p, DataLayer)]
+        for p in grad_targets:
+            self._ensure_grad(p.grad_output)
+            p.grad_output.lock()
+        for g in layer.param_grads:
+            self._gpu_alloc_tensor(g)
+
+        ws_choice: Optional[WorkspaceChoice] = None
+        ws_alloc: Optional[Allocation] = None
+        if isinstance(layer, Conv2D):
+            ws_choice = self.selector.select(
+                layer, self.allocator.free_bytes, "backward"
+            )
+            if ws_choice.assigned_ws > 0:
+                try:
+                    ws_alloc = self.allocator.alloc(
+                        ws_choice.assigned_ws, tag=f"ws:{layer.name}"
+                    )
+                except OutOfMemoryError:
+                    ws_choice = WorkspaceChoice(
+                        layer.name, "backward",
+                        layer.algorithms(self.model)[0],
+                        self.allocator.free_bytes,
+                        ws_choice.max_speed_algo,
+                    )
+                    self.selector.choices[-1] = ws_choice
+            duration = layer.sim_time_backward(self.model, ws_choice.algo)
+        else:
+            duration = layer.sim_time_backward(self.model)
+
+        self.timeline.submit(Stream.COMPUTE, duration, f"bw:{layer.name}")
+
+        if self.concrete:
+            self._backward_values(layer, ctx, optimizer)
+        elif optimizer is not None:
+            pass  # nothing to update without payloads
+
+        if ws_alloc is not None:
+            self.allocator.free(ws_alloc)
+        for t in fw_needed:
+            t.unlock()
+        if has_grad_in:
+            layer.grad_output.unlock()
+        for p in grad_targets:
+            p.grad_output.unlock()
+
+        return ws_choice
+
+    def _backward_values(self, layer: Layer, ctx: LayerContext, optimizer) -> None:
+        ins = [
+            self.store.get_required(p.output)
+            if layer.needs_inputs_in_backward else None
+            for p in layer.prev
+        ]
+        outv = (
+            self.store.get_required(layer.output)
+            if layer.needs_output_in_backward else None
+        )
+        gov = (
+            self.store.get_required(layer.grad_output)
+            if layer.next else None
+        )
+        grads_in, grads_p = layer.backward(ins, outv, gov, ctx)
+        for p, gi in zip(layer.prev, grads_in):
+            if isinstance(p, DataLayer) or gi is None:
+                continue
+            acc = self.store.get(p.grad_output)
+            self.store.put(p.grad_output, acc + gi if acc is not None else gi)
+        for g_t, g_v in zip(layer.param_grads, grads_p):
+            self.store.put(g_t, g_v)
+        if optimizer is not None:
+            for p_t, g_t in zip(layer.params, layer.param_grads):
+                g_v = self.store.get_required(g_t)
+                layer.param_values[p_t.tensor_id] = optimizer.step_param(
+                    p_t.tensor_id, layer.param_values[p_t.tensor_id], g_v
+                )
+
+    def _prefetch_ahead(self, step: Step) -> None:
+        nxt = step.index + 1
+        if nxt >= len(self.route.steps):
+            return
+        for t in self.liveness.reads_at(nxt, include_synthetic=False):
+            if t.placement is Placement.HOST:
+                self._prefetch_async(t)
+            elif (not t.is_live
+                  and t.tensor_id in self.plan.recompute_covered):
+                # the next step will trigger a segment recompute; start
+                # fetching its anchor now so the chain doesn't stall
+                producer = self.net.layers[t.producer]
+                seg = self.recompute_plan.segment_of.get(producer.layer_id)
+                if seg is not None and seg.anchor.output is not None \
+                        and seg.anchor.output.placement is Placement.HOST:
+                    self._prefetch_async(seg.anchor.output)

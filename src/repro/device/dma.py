@@ -1,0 +1,116 @@
+"""Asynchronous DMA copies between device and host.
+
+Modern GPUs have copy engines independent of the SMs, which is what lets
+the paper's UTP hide offload/prefetch traffic under compute (§3.3.1).
+The engine submits copies to the :class:`~repro.device.timeline.Timeline`
+D2H/H2D streams and returns their completion events; the runtime's
+background "event poller" thread is modeled by simply consulting the
+event timestamps.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.device.model import DeviceModel
+from repro.device.timeline import Event, Stream, Timeline
+
+
+class CopyDirection(enum.Enum):
+    H2D = "h2d"
+    D2H = "d2h"
+
+
+@dataclass
+class CopyStats:
+    """Aggregate traffic counters (Table 3 reports exactly these)."""
+
+    d2h_bytes: int = 0
+    h2d_bytes: int = 0
+    d2h_copies: int = 0
+    h2d_copies: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.d2h_bytes + self.h2d_bytes
+
+
+class DMAEngine:
+    """Issues timed copies; pinned host memory runs at full PCIe rate.
+
+    Parameters
+    ----------
+    timeline:
+        Shared simulation timeline.
+    model:
+        Device constants (bandwidths, pageable penalty).
+    pinned:
+        Whether the host pool is pinned (cudaHostAlloc).  The paper
+        faults TensorFlow for swapping through pageable memory, which
+        halves effective bandwidth — setting ``pinned=False`` reproduces
+        that framework model.
+    """
+
+    def __init__(
+        self,
+        timeline: Timeline,
+        model: DeviceModel,
+        pinned: bool = True,
+    ) -> None:
+        self.timeline = timeline
+        self.model = model
+        self.pinned = pinned
+        self.stats = CopyStats()
+
+    # -- bandwidth ------------------------------------------------------------
+    def _rate(self, direction: CopyDirection) -> float:
+        base = (
+            self.model.pcie_h2d
+            if direction is CopyDirection.H2D
+            else self.model.pcie_d2h
+        )
+        return base if self.pinned else base * self.model.pageable_factor
+
+    def copy_time(self, nbytes: int, direction: CopyDirection,
+                  rate_scale: float = 1.0) -> float:
+        """Duration of one copy: latency + size/bandwidth.
+
+        ``rate_scale`` adjusts for the far end of the transfer (peer GPU
+        over the same switch is 1.25x PCIe, GPU-Direct RDMA 0.75x —
+        paper §3.3.2 via :mod:`repro.device.fabric`).
+        """
+        # ~10us fixed cost per cudaMemcpyAsync covers driver + DMA setup.
+        return 10e-6 + nbytes / (self._rate(direction) * rate_scale)
+
+    # -- submission -------------------------------------------------------------
+    def copy_async(
+        self,
+        nbytes: int,
+        direction: CopyDirection,
+        label: str = "",
+        after: Optional[Iterable[Event]] = None,
+        rate_scale: float = 1.0,
+    ) -> Event:
+        """Submit an async copy; returns its completion event."""
+        if nbytes < 0:
+            raise ValueError(f"negative copy size {nbytes}")
+        stream = Stream.H2D if direction is CopyDirection.H2D else Stream.D2H
+        if direction is CopyDirection.H2D:
+            self.stats.h2d_bytes += nbytes
+            self.stats.h2d_copies += 1
+        else:
+            self.stats.d2h_bytes += nbytes
+            self.stats.d2h_copies += 1
+        return self.timeline.submit(
+            stream,
+            self.copy_time(nbytes, direction, rate_scale),
+            label=label,
+            after=after,
+            # issued by host code that runs with the compute stream
+            not_before=self.timeline.now(Stream.COMPUTE),
+        )
+
+    def reset_stats(self) -> None:
+        self.stats = CopyStats()

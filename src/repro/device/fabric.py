@@ -1,0 +1,105 @@
+"""Multi-pool memory fabric — the UTP's external-memory abstraction.
+
+Paper Fig. 7: the Unified Tensor Pool consolidates several physical
+pools — local CPU DRAM over PCIe, another GPU's DRAM over the same PCIe
+switch, and remote CPU/GPU DRAM over GPU-Direct RDMA.  The evaluation
+only exercises local CPU DRAM; we implement the full abstraction with
+the paper's §3.3.2 practical bandwidths (8 / 10 / 6 GB/s) so the
+ablation bench can quantify what the other pools would buy.
+
+Placement is priority first-fit: tensors go to the earliest pool with
+room, spilling to the next when one fills — the natural policy when
+pools are ordered fastest-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.device.model import GiB
+
+
+@dataclass(frozen=True)
+class ExternalPool:
+    """One physical external memory reachable from the device.
+
+    ``h2d_scale``/``d2h_scale`` are multipliers on the device model's
+    base PCIe bandwidth (8 GB/s pinned): the paper quotes 10 GB/s for
+    GPU-to-GPU over one switch (1.25x) and 6 GB/s for GPU-Direct RDMA
+    (0.75x).
+    """
+
+    name: str
+    capacity: int
+    h2d_scale: float = 1.0
+    d2h_scale: float = 1.0
+
+
+#: Paper §3.3.2's three pool archetypes.
+LOCAL_CPU = ExternalPool("cpu_dram", 256 * GiB, 1.0, 1.0)
+PEER_GPU = ExternalPool("peer_gpu", 12 * GiB, 1.25, 1.25)
+REMOTE_RDMA = ExternalPool("remote_rdma", 256 * GiB, 0.75, 0.75)
+
+
+class MemoryFabric:
+    """Priority-ordered collection of external pools with byte ledgers."""
+
+    def __init__(self, pools: Optional[Sequence[ExternalPool]] = None,
+                 pinned: bool = True):
+        self.pools: List[ExternalPool] = list(pools) if pools else [LOCAL_CPU]
+        if not self.pools:
+            raise ValueError("fabric needs at least one pool")
+        self.pinned = pinned
+        self._used: Dict[str, int] = {p.name: 0 for p in self.pools}
+        self._peak: Dict[str, int] = {p.name: 0 for p in self.pools}
+        self._where: Dict[int, Tuple[ExternalPool, int]] = {}
+
+    # -- placement -----------------------------------------------------------
+    def stash(self, tensor_id: int, nbytes: int) -> ExternalPool:
+        """Place an offloaded tensor into the first pool with room."""
+        if tensor_id in self._where:
+            return self._where[tensor_id][0]  # host copy reused
+        for pool in self.pools:
+            if self._used[pool.name] + nbytes <= pool.capacity:
+                self._used[pool.name] += nbytes
+                self._peak[pool.name] = max(self._peak[pool.name],
+                                            self._used[pool.name])
+                self._where[tensor_id] = (pool, nbytes)
+                return pool
+        raise MemoryError(
+            f"every external pool is full ({nbytes} bytes requested)"
+        )
+
+    def contains(self, tensor_id: int) -> bool:
+        return tensor_id in self._where
+
+    def pool_of(self, tensor_id: int) -> Optional[ExternalPool]:
+        entry = self._where.get(tensor_id)
+        return entry[0] if entry else None
+
+    def evict(self, tensor_id: int) -> None:
+        entry = self._where.pop(tensor_id, None)
+        if entry is not None:
+            pool, nbytes = entry
+            self._used[pool.name] -= nbytes
+
+    def clear(self) -> None:
+        self._where.clear()
+        for name in self._used:
+            self._used[name] = 0
+
+    # -- introspection --------------------------------------------------------
+    def used_bytes(self, pool_name: Optional[str] = None) -> int:
+        if pool_name is not None:
+            return self._used[pool_name]
+        return sum(self._used.values())
+
+    def peak_bytes(self, pool_name: Optional[str] = None) -> int:
+        if pool_name is not None:
+            return self._peak[pool_name]
+        return sum(self._peak.values())
+
+    @property
+    def count(self) -> int:
+        return len(self._where)

@@ -1,0 +1,60 @@
+"""Pinned host memory pool — the UTP's external physical pool.
+
+The paper's Unified Tensor Pool abstracts several external memories
+(local CPU DRAM, other GPUs, remote DRAM); the evaluation uses local
+CPU DRAM, so that is what we model.  Host capacity is finite but large;
+exceeding it is a hard error so that capacity experiments stay honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.device.model import GiB
+
+
+class HostMemory:
+    """Byte ledger for the pinned host staging area."""
+
+    def __init__(self, capacity: int = 256 * GiB, pinned: bool = True):
+        self.capacity = capacity
+        self.pinned = pinned
+        self._used = 0
+        self._peak = 0
+        self._resident: Dict[int, int] = {}  # tensor_id -> nbytes
+
+    def stash(self, tensor_id: int, nbytes: int) -> None:
+        """Place an offloaded tensor's bytes into host RAM."""
+        if tensor_id in self._resident:
+            return  # already offloaded once; host copy is reused
+        if self._used + nbytes > self.capacity:
+            raise MemoryError(
+                f"host pool exhausted: {self._used}+{nbytes} > {self.capacity}"
+            )
+        self._resident[tensor_id] = nbytes
+        self._used += nbytes
+        self._peak = max(self._peak, self._used)
+
+    def contains(self, tensor_id: int) -> bool:
+        return tensor_id in self._resident
+
+    def evict(self, tensor_id: int) -> None:
+        nbytes = self._resident.pop(tensor_id, None)
+        if nbytes is not None:
+            self._used -= nbytes
+
+    def clear(self) -> None:
+        self._resident.clear()
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    @property
+    def count(self) -> int:
+        return len(self._resident)

@@ -1,0 +1,87 @@
+"""Calibrated device constants.
+
+Single source of truth for every simulated duration.  The values are
+order-of-magnitude calibrations against the paper's K40c / TITAN Xp
+testbed and NVIDIA's published numbers; the benchmarks only depend on
+the *ratios* (e.g. cudaMalloc latency vs kernel time, PCIe bandwidth vs
+compute throughput), which these constants preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+GiB = 1024**3
+MiB = 1024**2
+KiB = 1024
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Throughput/latency model for one simulated GPU.
+
+    Attributes
+    ----------
+    dram_bytes:
+        Device DRAM capacity (12 GB on the paper's K40c).
+    compute_tflops:
+        Effective sustained throughput for compute-bound kernels
+        (dense conv / GEMM), in FLOP/s.  K40c peaks at 4.29 TFLOP/s
+        single precision; ~55% efficiency is typical for cuDNN.
+    mem_bandwidth:
+        Effective device memory bandwidth for memory-bound layers
+        (POOL/ACT/LRN/BN/Dropout), bytes/s.
+    pcie_h2d / pcie_d2h:
+        Practical pinned-transfer bandwidth over PCIe 3.0 x16
+        (paper §3.3.2 quotes 8 GB/s CPU→GPU practical).
+    pageable_factor:
+        Penalty for non-pinned transfers; the paper says TensorFlow's
+        unpinned swap "compromises at least 50% of communication speed".
+    cuda_malloc_latency / cuda_free_latency:
+        Per-call latency of native cudaMalloc/cudaFree.  cudaMalloc
+        synchronizes the device; hundreds of microseconds is typical.
+        These drive Table 2 (ResNet50 wastes 36% of time in native
+        allocation, fixed by the heap pool).
+    pool_alloc_latency / pool_free_latency:
+        Per-call latency of the pre-allocated heap pool (a list walk).
+    kernel_launch_overhead:
+        Fixed per-kernel launch cost; dominates tiny layers.
+    conv_algo_speed:
+        Relative speed multipliers for the four convolution algorithms
+        (higher = faster), mirroring cuDNN's behaviour where FFT and
+        Winograd beat implicit GEMM when their workspace fits.
+    """
+
+    name: str = "K40c"
+    dram_bytes: int = 12 * GiB
+    compute_tflops: float = 2.4e12
+    mem_bandwidth: float = 180e9
+    pcie_h2d: float = 8e9
+    pcie_d2h: float = 8e9
+    pageable_factor: float = 0.5
+    cuda_malloc_latency: float = 250e-6
+    cuda_free_latency: float = 120e-6
+    pool_alloc_latency: float = 1.5e-6
+    pool_free_latency: float = 1.0e-6
+    kernel_launch_overhead: float = 8e-6
+    conv_algo_speed: Dict[str, float] = field(
+        default_factory=lambda: {
+            "implicit_gemm": 1.0,   # no workspace, slowest baseline
+            "gemm": 1.35,           # explicit im2col GEMM
+            "winograd": 2.2,        # small 3x3 kernels
+            "fft": 1.9,             # large kernels / channels
+        }
+    )
+
+
+#: The paper's capacity-experiment device (Tables 4/5, Figs. 10/13).
+K40_MODEL = DeviceModel()
+
+#: The paper's speed-experiment device (Fig. 14 is benchmarked on TITAN Xp).
+TITANXP_MODEL = DeviceModel(
+    name="TITAN Xp",
+    dram_bytes=12 * GiB,
+    compute_tflops=6.0e12,
+    mem_bandwidth=400e9,
+)

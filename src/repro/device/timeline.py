@@ -1,0 +1,137 @@
+"""A minimal discrete-event timeline with CUDA-like streams.
+
+The paper's overlap argument — offload/prefetch hide under compute
+because the DMA engines are independent of the SMs (§3.3.1) — is the
+heart of the UTP performance story, so the simulator must model streams
+faithfully:
+
+* ops submitted to the same stream serialize;
+* ops on different streams run concurrently;
+* an op may depend on events (completions of earlier ops on any stream);
+* synchronizing a stream on an event advances that stream's clock to
+  the event's completion time (that is the *stall* the tensor cache is
+  designed to avoid).
+
+Time is a float in seconds.  There is no event queue to pump: because
+every duration is known at submission, completion times are computed
+eagerly — the classic "max of dependencies plus duration" critical-path
+recurrence.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Stream(enum.Enum):
+    """The three hardware engines the paper's runtime drives."""
+
+    COMPUTE = "compute"
+    D2H = "d2h"      # offload engine
+    H2D = "h2d"      # prefetch engine
+
+
+@dataclass(frozen=True)
+class Event:
+    """Completion marker of one submitted op."""
+
+    event_id: int
+    stream: Stream
+    time: float        # absolute completion timestamp
+    label: str = ""
+
+
+@dataclass
+class _OpRecord:
+    label: str
+    stream: Stream
+    start: float
+    end: float
+
+
+class Timeline:
+    """Tracks per-stream clocks and the ops run on them.
+
+    The runtime submits work via :meth:`submit` and gets back an
+    :class:`Event`; waiting on an event via :meth:`sync` models a CUDA
+    ``cudaStreamWaitEvent`` + host sync.  :attr:`elapsed` is the
+    wall-clock of the whole simulation (max over stream clocks).
+    """
+
+    def __init__(self) -> None:
+        self._clock: Dict[Stream, float] = {s: 0.0 for s in Stream}
+        self._events = itertools.count(0)
+        self._ops: List[_OpRecord] = []
+        self._busy: Dict[Stream, float] = {s: 0.0 for s in Stream}
+
+    # -- submission -------------------------------------------------------
+    def submit(
+        self,
+        stream: Stream,
+        duration: float,
+        label: str = "",
+        after: Optional[Iterable[Event]] = None,
+        not_before: float = 0.0,
+    ) -> Event:
+        """Run ``duration`` seconds of work on ``stream``.
+
+        The op starts when the stream is free, all ``after`` events have
+        completed, and ``not_before`` has passed.  ``not_before`` models
+        the *issue time*: work queued by host code that runs in lockstep
+        with the compute stream cannot start before that code ran —
+        without it, an idle copy stream would happily execute transfers
+        "in the past" and no prefetch could ever be late.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration {duration} for {label!r}")
+        start = max(self._clock[stream], not_before)
+        if after:
+            for ev in after:
+                start = max(start, ev.time)
+        end = start + duration
+        self._clock[stream] = end
+        self._busy[stream] += duration
+        self._ops.append(_OpRecord(label, stream, start, end))
+        return Event(next(self._events), stream, end, label)
+
+    def sync(self, stream: Stream, event: Event) -> float:
+        """Block ``stream`` until ``event`` completes; returns stall time."""
+        stall = max(0.0, event.time - self._clock[stream])
+        self._clock[stream] = max(self._clock[stream], event.time)
+        return stall
+
+    def sync_all(self) -> float:
+        """Join every stream (end-of-iteration barrier); returns new now."""
+        t = max(self._clock.values())
+        for s in self._clock:
+            self._clock[s] = t
+        return t
+
+    def advance(self, stream: Stream, duration: float, label: str = "") -> Event:
+        """Alias of :meth:`submit` for host-side latencies (mallocs etc.)."""
+        return self.submit(stream, duration, label)
+
+    # -- introspection ------------------------------------------------------
+    def now(self, stream: Stream = Stream.COMPUTE) -> float:
+        return self._clock[stream]
+
+    @property
+    def elapsed(self) -> float:
+        return max(self._clock.values())
+
+    def busy_time(self, stream: Stream) -> float:
+        """Total work submitted to ``stream`` (ignores gaps)."""
+        return self._busy[stream]
+
+    def ops(self, stream: Optional[Stream] = None) -> List[_OpRecord]:
+        if stream is None:
+            return list(self._ops)
+        return [op for op in self._ops if op.stream is stream]
+
+    def reset(self) -> None:
+        self._clock = {s: 0.0 for s in Stream}
+        self._busy = {s: 0.0 for s in Stream}
+        self._ops.clear()

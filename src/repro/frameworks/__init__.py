@@ -1,0 +1,39 @@
+"""Memory-policy models of the comparator frameworks (paper §2.2, §4.2).
+
+Tables 4/5 and Figs. 13/14 compare SuperNeurons against Caffe, Torch,
+MXNet, and TensorFlow.  What differs between those systems — for the
+paper's purposes — is their *memory policy*, not their kernels, so each
+model here is a :class:`~repro.core.config.RuntimeConfig` running on the
+identical simulated substrate:
+
+========  ===========================================================
+Caffe     static fw/bw buffer sharing only (grads recycled, every
+          forward tensor persists); greedy max-speed conv workspaces
+Torch     same static sharing; conservative zero-workspace convs
+          (slightly more batch headroom than Caffe, as in Table 5)
+MXNet     DAG liveness + per-segment speed-centric recomputation that
+          ignores memory variation (the paper's §2.2 critique)
+TF        DAG liveness + eager swap to *pageable* host memory (the
+          paper faults its unpinned transfers) without a tensor cache
+SuperN.   liveness + UTP with LRU tensor cache + cost-aware
+          recomputation + dynamic conv workspaces
+========  ===========================================================
+"""
+
+from repro.frameworks.models import FRAMEWORKS, FrameworkModel, framework_config
+from repro.frameworks.probe import (
+    max_batch,
+    max_resnet_depth,
+    peak_memory,
+    try_run,
+)
+
+__all__ = [
+    "FRAMEWORKS",
+    "FrameworkModel",
+    "framework_config",
+    "max_batch",
+    "max_resnet_depth",
+    "peak_memory",
+    "try_run",
+]

@@ -1,0 +1,91 @@
+"""The five framework policy models as config factories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.config import RecomputeStrategy, RuntimeConfig, WorkspacePolicy
+
+
+@dataclass(frozen=True)
+class FrameworkModel:
+    """Name + config factory + display metadata."""
+
+    name: str
+    make_config: Callable[..., RuntimeConfig]
+    notes: str = ""
+
+    def config(self, **overrides) -> RuntimeConfig:
+        return self.make_config(**overrides)
+
+
+def _caffe(**kw) -> RuntimeConfig:
+    return RuntimeConfig(
+        use_liveness=True,
+        liveness_scope="grads_only",
+        use_offload=False,
+        recompute=RecomputeStrategy.NONE,
+        workspace_policy=kw.pop("workspace_policy", WorkspacePolicy.MAX_SPEED),
+        **kw,
+    )
+
+
+def _torch(**kw) -> RuntimeConfig:
+    return RuntimeConfig(
+        use_liveness=True,
+        liveness_scope="grads_only",
+        use_offload=False,
+        recompute=RecomputeStrategy.NONE,
+        workspace_policy=kw.pop("workspace_policy", WorkspacePolicy.NONE),
+        **kw,
+    )
+
+
+def _mxnet(**kw) -> RuntimeConfig:
+    return RuntimeConfig(
+        use_liveness=True,
+        use_offload=False,
+        recompute=kw.pop("recompute", RecomputeStrategy.SPEED_CENTRIC),
+        workspace_policy=kw.pop("workspace_policy", WorkspacePolicy.DYNAMIC),
+        **kw,
+    )
+
+
+def _tensorflow(**kw) -> RuntimeConfig:
+    return RuntimeConfig(
+        use_liveness=True,
+        use_offload=True,
+        use_tensor_cache=False,      # eager swap, no reuse cache
+        pinned_host=False,           # pageable transfers (the §2.2 critique)
+        recompute=RecomputeStrategy.NONE,
+        workspace_policy=kw.pop("workspace_policy", WorkspacePolicy.DYNAMIC),
+        **kw,
+    )
+
+
+def _superneurons(**kw) -> RuntimeConfig:
+    return RuntimeConfig.superneurons(**kw)
+
+
+FRAMEWORKS: Dict[str, FrameworkModel] = {
+    "caffe": FrameworkModel(
+        "Caffe", _caffe,
+        "static fw/bw sharing; greedy workspaces"),
+    "torch": FrameworkModel(
+        "Torch", _torch,
+        "static fw/bw sharing; no workspaces"),
+    "mxnet": FrameworkModel(
+        "MXNet", _mxnet,
+        "DAG liveness + speed-centric recompute"),
+    "tensorflow": FrameworkModel(
+        "TensorFlow", _tensorflow,
+        "DAG liveness + pageable swap"),
+    "superneurons": FrameworkModel(
+        "SuperNeurons", _superneurons,
+        "liveness + UTP/LRU cache + cost-aware recompute"),
+}
+
+
+def framework_config(name: str, **overrides) -> RuntimeConfig:
+    return FRAMEWORKS[name].config(**overrides)

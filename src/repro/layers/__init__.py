@@ -1,0 +1,45 @@
+"""Layer library: real NumPy forward/backward plus a time/FLOP model.
+
+This is the stand-in for cuDNN.  Every layer type the paper's networks
+use is here, each with:
+
+* a *real* NumPy ``forward``/``backward`` (so recomputation and
+  offloading can be verified numerically, not just by byte counts);
+* FLOP counts and byte-traffic estimates feeding the simulated-time
+  model (CONV/FC are compute-bound; POOL/ACT/LRN/BN/Dropout are
+  memory-bound — the split behind Fig. 8's time/memory asymmetry);
+* for CONV, a table of algorithms (implicit GEMM / GEMM / FFT /
+  Winograd) with distinct workspace needs and speeds, which the dynamic
+  workspace selector (paper §3.5) chooses among.
+"""
+
+from repro.layers.base import Layer, LayerType, LayerContext
+from repro.layers.conv import Conv2D, ConvAlgo, conv_algorithms
+from repro.layers.pool import Pool2D
+from repro.layers.act import ReLU
+from repro.layers.fc import FullyConnected
+from repro.layers.lrn import LRN
+from repro.layers.bn import BatchNorm
+from repro.layers.dropout import Dropout
+from repro.layers.softmax import SoftmaxLoss
+from repro.layers.data import DataLayer
+from repro.layers.join import Join, Concat
+
+__all__ = [
+    "Layer",
+    "LayerType",
+    "LayerContext",
+    "Conv2D",
+    "ConvAlgo",
+    "conv_algorithms",
+    "Pool2D",
+    "ReLU",
+    "FullyConnected",
+    "LRN",
+    "BatchNorm",
+    "Dropout",
+    "SoftmaxLoss",
+    "DataLayer",
+    "Join",
+    "Concat",
+]

@@ -1,0 +1,37 @@
+"""Activation layers (ReLU — the only one the paper's networks use)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerType
+
+
+class ReLU(Layer):
+    """Rectified linear unit.
+
+    The backward kernel reads the forward *input* (``dx = dy · [x>0]``),
+    matching cuDNN/Caffe's activation-backward signature.  This is the
+    dependency that keeps CONV outputs alive into the backward pass and
+    makes them worth offloading (paper §3.3.1); mathematically the output
+    sign would suffice, but we reproduce the paper's dependency model.
+    """
+
+    ltype = LayerType.ACT
+    # cudnnActivationBackward(y, dy, x) -> dx: reads BOTH x and y
+    needs_inputs_in_backward = True
+    needs_output_in_backward = True
+
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) != 1:
+            raise ValueError(f"{self.name}: relu takes one input")
+        return in_shapes[0]
+
+    def forward(self, inputs, ctx):
+        (x,) = inputs
+        return np.maximum(x, 0.0).astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        (x,) = inputs
+        dx = grad_out * (x > 0.0)
+        return [dx.astype(np.float32, copy=False)], []

@@ -1,0 +1,272 @@
+"""Layer base class: shapes, parameters, cost model, compute contract.
+
+A layer is a node in the network DAG.  It owns:
+
+* its output tensor descriptor (created once at build time — shapes are
+  static, placement is not);
+* its parameter tensors (long-lived, never scheduled by liveness);
+* the NumPy kernels that compute forward/backward values;
+* the analytic cost model used by the simulated timeline.
+
+The scheduling-relevant byte quantities of the paper's cost model map
+onto methods here: ``l_f`` (forward memory of the layer) and ``l_b``
+(extra memory the backward step needs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.model import DeviceModel
+from repro.tensors.tensor import Tensor, TensorKind
+
+
+class LayerType(enum.Enum):
+    """Layer taxonomy used for checkpoints and Fig. 8 breakdowns."""
+
+    DATA = "DATA"
+    CONV = "CONV"
+    POOL = "POOL"
+    ACT = "ACT"
+    FC = "FC"
+    LRN = "LRN"
+    BN = "BN"
+    DROPOUT = "DROPOUT"
+    SOFTMAX = "SOFTMAX"
+    JOIN = "JOIN"
+    CONCAT = "CONCAT"
+
+
+#: Layers whose forward outputs UTP offloads (paper §3.3.1 offloads only
+#: CONV outputs; DATA is included as segment anchor for recomputation).
+CHECKPOINT_TYPES = frozenset({LayerType.CONV, LayerType.FC, LayerType.DATA})
+
+#: Layers cheap enough that recomputation frees their outputs.
+RECOMPUTE_TYPES = frozenset(
+    {LayerType.POOL, LayerType.ACT, LayerType.LRN, LayerType.BN,
+     LayerType.DROPOUT, LayerType.JOIN, LayerType.CONCAT}
+)
+
+
+@dataclass
+class LayerContext:
+    """Per-execution context passed to kernels.
+
+    ``iteration`` seeds dropout masks so a recomputation pass replays
+    exactly the same mask the original forward used — without this,
+    recompute would silently change the training trajectory.
+    """
+
+    iteration: int = 0
+    training: bool = True
+    rng_salt: int = 0
+
+    def layer_rng(self, layer_id: int) -> np.random.Generator:
+        seed = (self.rng_salt * 1_000_003 + self.iteration) * 131_071 + layer_id
+        return np.random.default_rng(seed & 0x7FFFFFFF)
+
+
+class _LazyParams(dict):
+    """tensor_id -> value map that materializes initial values on first
+    access.  Simulated-mode runs (descriptor-only) never touch values,
+    so multi-thousand-layer capacity probes skip all the RNG work."""
+
+    def __init__(self):
+        super().__init__()
+        self.factories: Dict[int, "Callable[[], np.ndarray]"] = {}
+
+    def __missing__(self, key: int) -> np.ndarray:
+        value = self.factories[key]()
+        self[key] = value
+        return value
+
+
+class Layer:
+    """Abstract layer.  Subclasses implement shapes, kernels, and costs."""
+
+    ltype: LayerType = LayerType.DATA
+
+    def __init__(self, name: str):
+        self.name = name
+        self.layer_id: int = -1              # assigned by Net.add
+        self.prev: List["Layer"] = []
+        self.next: List["Layer"] = []
+        self.in_shapes: List[Tuple[int, ...]] = []
+        self.out_shape: Tuple[int, ...] = ()
+        self.output: Optional[Tensor] = None
+        self.grad_output: Optional[Tensor] = None
+        self.params: List[Tensor] = []
+        self.param_grads: List[Tensor] = []
+        self.param_values: _LazyParams = _LazyParams()  # tensor_id -> value
+
+    # -- graph wiring (called by Net) ----------------------------------------
+    def connect_from(self, sources: Sequence["Layer"]) -> None:
+        for s in sources:
+            self.prev.append(s)
+            s.next.append(self)
+
+    def infer(self) -> None:
+        """Shape inference only (run at wiring time so builders can read
+        ``out_shape`` of intermediate layers mid-construction)."""
+        self.in_shapes = [p.out_shape for p in self.prev]
+        self.out_shape = self.infer_shape(self.in_shapes)
+
+    def build(self) -> None:
+        """Create tensor descriptors and parameters (idempotent-safe:
+        called once by Net.build)."""
+        if not self.out_shape:
+            self.infer()
+        self.output = Tensor(
+            self.out_shape, TensorKind.DATA,
+            name=f"{self.name}:out", producer=self.layer_id,
+        )
+        self.grad_output = Tensor(
+            self.out_shape, TensorKind.GRAD,
+            name=f"{self.name}:grad", producer=self.layer_id,
+        )
+        self._build_params()
+
+    def infer_shape(self, in_shapes: List[Tuple[int, ...]]) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def _build_params(self) -> None:
+        """Create parameter descriptors + initial values (default: none)."""
+
+    def _add_param(self, shape: Tuple[int, ...], init, tag: str) -> Tensor:
+        """Register a parameter.  ``init`` is either an ndarray or a
+        zero-arg factory producing one (factories defer the RNG work
+        until a concrete-mode execution actually reads the value)."""
+        p = Tensor(shape, TensorKind.PARAM, name=f"{self.name}:{tag}",
+                   producer=self.layer_id)
+        g = Tensor(shape, TensorKind.PARAM_GRAD, name=f"{self.name}:d{tag}",
+                   producer=self.layer_id)
+        self.params.append(p)
+        self.param_grads.append(g)
+        if callable(init):
+            self.param_values.factories[p.tensor_id] = (
+                lambda: np.ascontiguousarray(init(), dtype=np.float32)
+            )
+        else:
+            self.param_values[p.tensor_id] = np.ascontiguousarray(
+                init, dtype=np.float32
+            )
+        return p
+
+    # -- compute contract ------------------------------------------------------
+    def forward(
+        self, inputs: List[np.ndarray], ctx: LayerContext
+    ) -> np.ndarray:
+        """Compute the output value from input values."""
+        raise NotImplementedError
+
+    def backward(
+        self,
+        inputs: List[np.ndarray],
+        output: np.ndarray,
+        grad_out: np.ndarray,
+        ctx: LayerContext,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Return (grads w.r.t. each input, grads w.r.t. each param)."""
+        raise NotImplementedError
+
+    #: inputs the backward kernel actually reads.  Most layers need their
+    #: forward inputs; ReLU/Pool variants can work from the output alone.
+    needs_inputs_in_backward: bool = True
+    needs_output_in_backward: bool = True
+
+    # -- cost model ----------------------------------------------------------------
+    def flops_forward(self) -> float:
+        """FLOPs of one forward execution (0 for pure data movement)."""
+        return 0.0
+
+    def flops_backward(self) -> float:
+        return 2.0 * self.flops_forward()
+
+    def bytes_touched_forward(self) -> float:
+        """Bytes read+written by the forward kernel (memory-bound model)."""
+        inp = sum(_nbytes(s) for s in self.in_shapes)
+        return inp + _nbytes(self.out_shape)
+
+    def bytes_touched_backward(self) -> float:
+        return 2.0 * self.bytes_touched_forward()
+
+    def is_compute_bound(self) -> bool:
+        return self.ltype in (LayerType.CONV, LayerType.FC)
+
+    def sim_time_forward(self, model: DeviceModel) -> float:
+        """Simulated duration of the forward kernel on ``model``."""
+        if self.is_compute_bound():
+            t = self.flops_forward() / model.compute_tflops
+        else:
+            t = self.bytes_touched_forward() / model.mem_bandwidth
+        return t + model.kernel_launch_overhead
+
+    def sim_time_backward(self, model: DeviceModel) -> float:
+        if self.is_compute_bound():
+            t = self.flops_backward() / model.compute_tflops
+        else:
+            t = self.bytes_touched_backward() / model.mem_bandwidth
+        return t + model.kernel_launch_overhead
+
+    # -- paper cost-model quantities ----------------------------------------------
+    def l_f(self) -> int:
+        """Forward memory of the layer: its output bytes (paper's l_f)."""
+        return self.output.nbytes if self.output is not None else 0
+
+    def l_b(self) -> int:
+        """Backward memory: gradient bytes this layer's backward creates."""
+        grad = self.grad_output.nbytes if self.grad_output is not None else 0
+        return grad + sum(g.nbytes for g in self.param_grads)
+
+    def l_total(self) -> int:
+        """l_i = all tensors of the layer (paper Fig. 13 uses this sum)."""
+        return self.l_f() + self.l_b() + sum(p.nbytes for p in self.params)
+
+    def working_set_bytes(self) -> int:
+        """Peak bytes the layer's own computation must have resident —
+        the paper's ``l_i`` whose maximum is the floor ``l_peak``.
+
+        Forward: inputs + output + params.  Backward: the forward
+        tensors the kernel reads (per the cuDNN-signature flags) +
+        incoming gradient + produced input-gradients + params + param
+        grads.  For AlexNet's big LRN/ACT layers this is the paper's
+        "4 tensors of one layer" (x, y, dy, dx) quantity.
+        """
+        params = sum(p.nbytes for p in self.params)
+        in_bytes = sum(_nbytes(s) for s in self.in_shapes)
+        out_bytes = _nbytes(self.out_shape) if self.out_shape else 0
+        fw = in_bytes + out_bytes + params
+
+        bw = params + sum(g.nbytes for g in self.param_grads)
+        if self.needs_inputs_in_backward:
+            bw += in_bytes
+        if self.needs_output_in_backward:
+            bw += out_bytes
+        if self.next:                      # incoming gradient dy
+            bw += out_bytes
+        if self.prev and self.prev[0].out_shape:  # produced dx per input
+            bw += in_bytes
+        return max(fw, bw)
+
+    @property
+    def is_checkpoint(self) -> bool:
+        return self.ltype in CHECKPOINT_TYPES
+
+    @property
+    def is_recomputable(self) -> bool:
+        return self.ltype in RECOMPUTE_TYPES
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"{type(self).__name__}(id={self.layer_id}, name={self.name!r}, "
+                f"out={self.out_shape})")
+
+
+def _nbytes(shape: Tuple[int, ...], itemsize: int = 4) -> int:
+    n = 1
+    for d in shape:
+        n *= int(d)
+    return n * itemsize

@@ -1,0 +1,90 @@
+"""Spatial batch normalization (training mode, per-channel stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerType
+
+
+class BatchNorm(Layer):
+    """y = gamma * (x - mu) / sqrt(var + eps) + beta.
+
+    Statistics are recomputed from the inputs on every call, so a
+    recomputation pass reproduces the original output bit-for-bit.
+    Running statistics are tracked for inference but never scheduled.
+    """
+
+    ltype = LayerType.BN
+    needs_output_in_backward = False  # stats are recomputed from x
+
+    def __init__(self, name: str, eps: float = 1e-5, momentum: float = 0.9):
+        super().__init__(name)
+        self.eps = eps
+        self.momentum = momentum
+        self.running_mean: np.ndarray | None = None
+        self.running_var: np.ndarray | None = None
+
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) != 1:
+            raise ValueError(f"{self.name}: bn takes one input")
+        return in_shapes[0]
+
+    def _build_params(self) -> None:
+        c = self.in_shapes[0][1]
+        self._gamma = self._add_param(
+            (c, 1, 1, 1), lambda: np.ones((c, 1, 1, 1), dtype=np.float32),
+            "gamma")
+        self._beta = self._add_param(
+            (c, 1, 1, 1), lambda: np.zeros((c, 1, 1, 1), dtype=np.float32),
+            "beta")
+        self.running_mean = np.zeros(c, dtype=np.float64)
+        self.running_var = np.ones(c, dtype=np.float64)
+
+    def _stats(self, x: np.ndarray):
+        mu = x.mean(axis=(0, 2, 3), dtype=np.float64)
+        var = x.var(axis=(0, 2, 3), dtype=np.float64)
+        return mu, var
+
+    def forward(self, inputs, ctx):
+        (x,) = inputs
+        if ctx.training:
+            mu, var = self._stats(x)
+        else:
+            mu, var = self.running_mean, self.running_var
+        g = self.param_values[self._gamma.tensor_id].reshape(1, -1, 1, 1)
+        b = self.param_values[self._beta.tensor_id].reshape(1, -1, 1, 1)
+        xhat = (x - mu.reshape(1, -1, 1, 1)) / np.sqrt(
+            var.reshape(1, -1, 1, 1) + self.eps
+        )
+        return (g * xhat + b).astype(np.float32, copy=False)
+
+    def update_running_stats(self, x: np.ndarray) -> None:
+        """Fold the current batch into the running stats (trainer calls
+        this once per iteration; recompute passes must *not*)."""
+        mu, var = self._stats(x)
+        m = self.momentum
+        self.running_mean = m * self.running_mean + (1 - m) * mu
+        self.running_var = m * self.running_var + (1 - m) * var
+
+    def backward(self, inputs, output, grad_out, ctx):
+        (x,) = inputs
+        mu, var = self._stats(x)
+        n, _c, h, w = x.shape
+        m = float(n * h * w)
+        inv_std = 1.0 / np.sqrt(var.reshape(1, -1, 1, 1) + self.eps)
+        xhat = (x - mu.reshape(1, -1, 1, 1)) * inv_std
+        g = self.param_values[self._gamma.tensor_id].reshape(1, -1, 1, 1)
+
+        dgamma = (grad_out * xhat).sum(axis=(0, 2, 3)).reshape(-1, 1, 1, 1)
+        dbeta = grad_out.sum(axis=(0, 2, 3)).reshape(-1, 1, 1, 1)
+
+        dxhat = grad_out * g
+        sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dxhat_xhat = (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (inv_std / m) * (m * dxhat - sum_dxhat - xhat * sum_dxhat_xhat)
+        return (
+            [dx.astype(np.float32, copy=False)],
+            [dgamma.astype(np.float32, copy=False),
+             dbeta.astype(np.float32, copy=False)],
+        )

@@ -1,0 +1,256 @@
+"""2-D convolution with a cuDNN-like algorithm table.
+
+The NumPy kernels use im2col + GEMM (what cuDNN's
+``CUDNN_CONVOLUTION_FWD_ALGO_GEMM`` does), which is fast enough under
+vectorized NumPy for test-scale shapes while being exactly
+differentiable.
+
+The *algorithm table* is what the dynamic workspace selector (paper
+§3.5) consumes: four algorithms with different workspace demands and
+speed multipliers, mirroring cuDNN's trade-off where FFT/Winograd are
+faster but need (sometimes enormous) scratch space.  The numeric result
+is identical whichever algorithm is "selected" — only simulated time
+and workspace bytes differ — matching the paper's statement that
+"convolution workspaces do not affect the functionality".
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.device.model import DeviceModel
+from repro.layers.base import Layer, LayerContext, LayerType
+from repro.tensors.shapes import as_pair, conv2d_out_shape
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad) -> np.ndarray:
+    """Unfold NCHW input into (N, C*kh*kw, OH*OW) patch columns.
+
+    ``pad`` is an int or an (ph, pw) pair (rectangular kernels pad
+    asymmetrically per axis).
+    """
+    ph, pw = as_pair(pad)
+    n, c, h, w = x.shape
+    oh = (h + 2 * ph - kh) // stride + 1
+    ow = (w + 2 * pw - kw) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            cols[:, :, i, j] = xp[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad,
+) -> np.ndarray:
+    """Fold patch columns back, accumulating overlaps (im2col adjoint)."""
+    ph, pw = as_pair(pad)
+    n, c, h, w = x_shape
+    oh = (h + 2 * ph - kh) // stride + 1
+    ow = (w + 2 * pw - kw) // stride + 1
+    cols6 = cols.reshape(n, c, kh, kw, oh, ow)
+    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            xp[:, :, i:i_end:stride, j:j_end:stride] += cols6[:, :, i, j]
+    if ph == 0 and pw == 0:
+        return xp
+    return xp[:, :, ph:ph + h, pw:pw + w]
+
+
+@dataclass(frozen=True)
+class ConvAlgo:
+    """One entry of the per-layer algorithm table."""
+
+    name: str
+    workspace_bytes: int
+    speed: float  # multiplier on base GEMM throughput (higher = faster)
+
+    def time(self, flops: float, model: DeviceModel) -> float:
+        return flops / (model.compute_tflops * self.speed) \
+            + model.kernel_launch_overhead
+
+
+def _next_pow2(v: int) -> int:
+    p = 1
+    while p < v:
+        p *= 2
+    return p
+
+
+def conv_algorithms(
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    in_hw: Tuple[int, int],
+    out_hw: Tuple[int, int],
+    kernel,
+    stride: int,
+    model: DeviceModel,
+) -> List[ConvAlgo]:
+    """The memory/speed menu for one conv shape (cuDNN-style).
+
+    * ``implicit_gemm`` — always available, zero workspace, slowest.
+    * ``gemm`` — explicit im2col buffer: ``N * C*k*k * OH*OW`` floats.
+    * ``winograd`` — 3x3 stride-1 only; moderate tile workspace.
+    * ``fft`` — stride-1 only; transform buffers over padded-to-pow2
+      spatial dims for input, filter and output grids (huge for large
+      images, which is exactly why it needs the workspace budget).
+    """
+    oh, ow = out_hw
+    h, w = in_hw
+    kh, kw = as_pair(kernel)
+    speeds = model.conv_algo_speed
+    algos = [ConvAlgo("implicit_gemm", 0, speeds["implicit_gemm"])]
+
+    gemm_ws = 4 * batch * in_channels * kh * kw * oh * ow
+    algos.append(ConvAlgo("gemm", gemm_ws, speeds["gemm"]))
+
+    if kh == kw == 3 and stride == 1:
+        tiles = -(-oh // 2) * (-(-ow // 2))
+        wino_ws = 4 * 16 * tiles * (in_channels + out_channels) * batch // 4
+        algos.append(ConvAlgo("winograd", wino_ws, speeds["winograd"]))
+
+    if stride == 1 and max(kh, kw) > 1:
+        ht, wt = _next_pow2(h + kh - 1), _next_pow2(w + kw - 1)
+        grids = (batch * in_channels + batch * out_channels
+                 + in_channels * out_channels)
+        fft_ws = 8 * grids * ht * (wt // 2 + 1)
+        algos.append(ConvAlgo("fft", fft_ws, speeds["fft"]))
+
+    return algos
+
+
+class Conv2D(Layer):
+    """Convolution layer; the paper's checkpoint/offload unit."""
+
+    ltype = LayerType.CONV
+    # dgrad/wgrad read x and dy but never the forward output
+    needs_output_in_backward = False
+
+    def __init__(
+        self,
+        name: str,
+        out_channels: int,
+        kernel,
+        stride: int = 1,
+        pad=0,
+        bias: bool = True,
+    ):
+        super().__init__(name)
+        self.out_channels = out_channels
+        self.kh, self.kw = as_pair(kernel)
+        self.kernel = kernel  # as given (int or pair), for repr/tests
+        self.stride = stride
+        self.pad = as_pair(pad) if not isinstance(pad, int) else pad
+        self.use_bias = bias
+
+    # -- shapes / params --------------------------------------------------------
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) != 1:
+            raise ValueError(f"{self.name}: conv takes one input")
+        return conv2d_out_shape(
+            in_shapes[0], self.out_channels, self.kernel, self.stride, self.pad
+        )
+
+    def _build_params(self) -> None:
+        _n, c, _h, _w = self.in_shapes[0]
+        seed = zlib.crc32(self.name.encode())
+        fan_in = c * self.kh * self.kw
+        kshape = (self.out_channels, c, self.kh, self.kw)
+
+        def init_w(kshape=kshape, seed=seed, fan_in=fan_in):
+            rng = np.random.default_rng(seed)
+            return rng.normal(0.0, np.sqrt(2.0 / fan_in),
+                              size=kshape).astype(np.float32)
+
+        self._w = self._add_param(kshape, init_w, "W")
+        if self.use_bias:
+            bshape = (self.out_channels, 1, 1, 1)
+            self._b = self._add_param(
+                bshape, lambda: np.zeros(bshape, dtype=np.float32), "b")
+
+    # -- kernels -------------------------------------------------------------------
+    def forward(self, inputs, ctx):
+        (x,) = inputs
+        w = self.param_values[self._w.tensor_id]
+        n = x.shape[0]
+        _, _, oh, ow = self.out_shape
+        cols = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        wmat = w.reshape(self.out_channels, -1)
+        out = np.einsum("kc,ncp->nkp", wmat, cols, optimize=True)
+        out = out.reshape(n, self.out_channels, oh, ow)
+        if self.use_bias:
+            out = out + self.param_values[self._b.tensor_id].reshape(1, -1, 1, 1)
+        return out.astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        (x,) = inputs
+        w = self.param_values[self._w.tensor_id]
+        n = x.shape[0]
+        _, _, oh, ow = self.out_shape
+        go = grad_out.reshape(n, self.out_channels, oh * ow)
+        cols = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        dw = np.einsum("nkp,ncp->kc", go, cols, optimize=True)
+        dw = dw.reshape(w.shape).astype(np.float32, copy=False)
+        wmat = w.reshape(self.out_channels, -1)
+        dcols = np.einsum("kc,nkp->ncp", wmat, go, optimize=True)
+        dx = col2im(dcols, x.shape, self.kh, self.kw,
+                    self.stride, self.pad).astype(np.float32, copy=False)
+        param_grads = [dw]
+        if self.use_bias:
+            db = go.sum(axis=(0, 2)).reshape(-1, 1, 1, 1)
+            param_grads.append(db.astype(np.float32, copy=False))
+        return [dx], param_grads
+
+    # -- cost model -----------------------------------------------------------------
+    def flops_forward(self) -> float:
+        n, _k, oh, ow = self.out_shape
+        _, c, _, _ = self.in_shapes[0]
+        return 2.0 * n * self.out_channels * c * self.kh * self.kw * oh * ow
+
+    def algorithms(self, model: DeviceModel) -> List[ConvAlgo]:
+        n, c, h, w = self.in_shapes[0]
+        _, _, oh, ow = self.out_shape
+        return conv_algorithms(
+            n, c, self.out_channels, (h, w), (oh, ow),
+            self.kernel, self.stride, model,
+        )
+
+    def max_speed_algo(self, model: DeviceModel) -> ConvAlgo:
+        return max(self.algorithms(model), key=lambda a: a.speed)
+
+    def best_algo_within(self, budget_bytes: int, model: DeviceModel) -> ConvAlgo:
+        """Fastest algorithm whose workspace fits ``budget_bytes``.
+
+        The zero-workspace implicit GEMM always fits, so this never
+        fails — the paper's point is that training proceeds regardless,
+        just slower when memory is tight.
+        """
+        feasible = [a for a in self.algorithms(model)
+                    if a.workspace_bytes <= budget_bytes]
+        return max(feasible, key=lambda a: a.speed)
+
+    def sim_time_forward(self, model: DeviceModel, algo: ConvAlgo = None) -> float:
+        if algo is None:
+            algo = self.algorithms(model)[0]
+        return algo.time(self.flops_forward(), model)
+
+    def sim_time_backward(self, model: DeviceModel, algo: ConvAlgo = None) -> float:
+        if algo is None:
+            algo = self.algorithms(model)[0]
+        return algo.time(self.flops_backward(), model)

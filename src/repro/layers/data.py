@@ -1,0 +1,57 @@
+"""Data layer: the route's source node.
+
+Produces one (batch, labels) pair per iteration.  The default provider
+generates deterministic synthetic batches — the paper's experiments
+never depend on data content, only on shapes (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerContext, LayerType
+
+Provider = Callable[[int], Tuple[np.ndarray, np.ndarray]]
+
+
+def synthetic_provider(shape, num_classes: int = 10, seed: int = 0) -> Provider:
+    """Deterministic random batches: batch i is a pure function of i."""
+
+    def provide(iteration: int) -> Tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(seed * 7_919 + iteration)
+        data = rng.standard_normal(shape).astype(np.float32)
+        labels = rng.integers(0, num_classes, size=shape[0])
+        return data, labels
+
+    return provide
+
+
+class DataLayer(Layer):
+    ltype = LayerType.DATA
+
+    def __init__(self, name: str, shape, num_classes: int = 10,
+                 provider: Optional[Provider] = None):
+        super().__init__(name)
+        self.shape = tuple(int(d) for d in shape)
+        self.num_classes = num_classes
+        self.provider = provider or synthetic_provider(self.shape, num_classes)
+        self.current_labels: Optional[np.ndarray] = None
+
+    def infer_shape(self, in_shapes):
+        if in_shapes:
+            raise ValueError(f"{self.name}: data layer takes no inputs")
+        return self.shape
+
+    def forward(self, inputs, ctx: LayerContext):
+        data, labels = self.provider(ctx.iteration)
+        if data.shape != self.shape:
+            raise ValueError(
+                f"provider returned {data.shape}, expected {self.shape}"
+            )
+        self.current_labels = labels
+        return data.astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        return [], []

@@ -1,0 +1,51 @@
+"""Dropout with replayable masks.
+
+The mask is generated from a seed derived from (iteration, layer id) via
+:meth:`LayerContext.layer_rng`, never from global RNG state.  That makes
+the forward pass a pure function of its inputs and the context — the
+property the recomputation engine depends on: re-running a dropout
+forward during the backward sweep reproduces the identical mask, so
+training under recomputation matches the baseline trajectory exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerContext, LayerType
+
+
+class Dropout(Layer):
+    ltype = LayerType.DROPOUT
+    # the mask is regenerated from the context seed; no forward tensors
+    # are read by the backward kernel
+    needs_inputs_in_backward = False
+    needs_output_in_backward = False
+
+    def __init__(self, name: str, p: float = 0.5):
+        super().__init__(name)
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {p}")
+        self.p = p
+
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) != 1:
+            raise ValueError(f"{self.name}: dropout takes one input")
+        return in_shapes[0]
+
+    def _mask(self, shape, ctx: LayerContext) -> np.ndarray:
+        rng = ctx.layer_rng(self.layer_id)
+        keep = 1.0 - self.p
+        return (rng.random(shape) < keep).astype(np.float32) / keep
+
+    def forward(self, inputs, ctx):
+        (x,) = inputs
+        if not ctx.training or self.p == 0.0:
+            return x
+        return (x * self._mask(x.shape, ctx)).astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        if not ctx.training or self.p == 0.0:
+            return [grad_out], []
+        mask = self._mask(grad_out.shape, ctx)
+        return [(grad_out * mask).astype(np.float32, copy=False)], []

@@ -1,0 +1,74 @@
+"""Nonlinear connection layers: Join (residual add) and Concat (fan merge).
+
+These two are what make a network *nonlinear* in the paper's sense
+(Fig. 1): Join is ResNet's shortcut addition, Concat is the
+Inception/DenseNet channel merge.  Both create the long-range
+dependencies that defeat static memory planners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerType
+
+
+class Join(Layer):
+    """Elementwise sum of K same-shaped inputs (ResNet shortcut)."""
+
+    ltype = LayerType.JOIN
+    needs_inputs_in_backward = False
+    needs_output_in_backward = False
+
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) < 2:
+            raise ValueError(f"{self.name}: join needs >= 2 inputs")
+        first = in_shapes[0]
+        for s in in_shapes[1:]:
+            if s != first:
+                raise ValueError(
+                    f"{self.name}: join shape mismatch {first} vs {s}"
+                )
+        return first
+
+    def forward(self, inputs, ctx):
+        out = inputs[0].copy()
+        for x in inputs[1:]:
+            out += x
+        return out.astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        return [grad_out for _ in self.prev], []
+
+
+class Concat(Layer):
+    """Channel-axis concatenation of K inputs (fan merge)."""
+
+    ltype = LayerType.CONCAT
+    needs_inputs_in_backward = False
+    needs_output_in_backward = False
+
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) < 2:
+            raise ValueError(f"{self.name}: concat needs >= 2 inputs")
+        n, _c, h, w = in_shapes[0]
+        for s in in_shapes[1:]:
+            if (s[0], s[2], s[3]) != (n, h, w):
+                raise ValueError(
+                    f"{self.name}: concat spatial mismatch {in_shapes[0]} vs {s}"
+                )
+        return (n, sum(s[1] for s in in_shapes), h, w)
+
+    def forward(self, inputs, ctx):
+        return np.concatenate(inputs, axis=1).astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        splits: List[np.ndarray] = []
+        start = 0
+        for s in self.in_shapes:
+            c = s[1]
+            splits.append(np.ascontiguousarray(grad_out[:, start:start + c]))
+            start += c
+        return splits, []

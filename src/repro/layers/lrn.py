@@ -1,0 +1,65 @@
+"""Local response normalization across channels (AlexNet-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerType
+
+
+def _window_sum(v: np.ndarray, size: int) -> np.ndarray:
+    """Sum of ``v`` over a centered channel window of ``size``."""
+    half = size // 2
+    pad = np.pad(v, ((0, 0), (half, half), (0, 0), (0, 0)))
+    csum = np.cumsum(pad, axis=1)
+    zero = np.zeros((v.shape[0], 1) + v.shape[2:], dtype=csum.dtype)
+    csum = np.concatenate([zero, csum], axis=1)
+    return csum[:, size:] - csum[:, :-size]
+
+
+class LRN(Layer):
+    """out = x / (k + (alpha/n) * sum_window x^2) ** beta.
+
+    Big output, trivial compute — the archetype of a layer worth
+    recomputing (the paper's AlexNet peak lands on LRN1's backward).
+    """
+
+    ltype = LayerType.LRN
+    # cudnnLRNCrossChannelBackward(y, dy, x) -> dx reads both; declared
+    # accordingly although our kernel recomputes the scale from x alone
+    needs_output_in_backward = True
+
+    def __init__(self, name: str, size: int = 5, alpha: float = 1e-4,
+                 beta: float = 0.75, k: float = 2.0):
+        super().__init__(name)
+        if size % 2 == 0:
+            raise ValueError("LRN window must be odd")
+        self.size = size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) != 1:
+            raise ValueError(f"{self.name}: lrn takes one input")
+        return in_shapes[0]
+
+    def _scale(self, x: np.ndarray) -> np.ndarray:
+        return self.k + (self.alpha / self.size) * _window_sum(x * x, self.size)
+
+    def forward(self, inputs, ctx):
+        (x,) = inputs
+        s = self._scale(x)
+        return (x * np.power(s, -self.beta)).astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        (x,) = inputs
+        s = self._scale(x)
+        s_nb = np.power(s, -self.beta)
+        # dL/dx_i = go_i * s_i^-b
+        #   - (2*alpha*beta/n) * x_i * sum_{j: i in win(j)} go_j x_j s_j^{-b-1}
+        inner = grad_out * x * np.power(s, -self.beta - 1.0)
+        dx = grad_out * s_nb \
+            - (2.0 * self.alpha * self.beta / self.size) * x \
+            * _window_sum(inner, self.size)
+        return [dx.astype(np.float32, copy=False)], []

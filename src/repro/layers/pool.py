@@ -1,0 +1,108 @@
+"""Max / average 2-D pooling (ceil mode, Caffe-compatible)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerType
+from repro.tensors.shapes import pool2d_out_shape
+
+
+def _pad_for_windows(x: np.ndarray, kernel: int, stride: int, pad: int,
+                     oh: int, ow: int, fill: float) -> np.ndarray:
+    """Pad so that every ceil-mode window is fully in bounds."""
+    n, c, h, w = x.shape
+    need_h = (oh - 1) * stride + kernel
+    need_w = (ow - 1) * stride + kernel
+    bottom = max(0, need_h - (h + pad))
+    right = max(0, need_w - (w + pad))
+    return np.pad(
+        x, ((0, 0), (0, 0), (pad, bottom), (pad, right)),
+        constant_values=fill,
+    )
+
+
+def _windows(xp: np.ndarray, kernel: int, stride: int,
+             oh: int, ow: int) -> np.ndarray:
+    """View of shape (N, C, OH, OW, k, k) over the padded input."""
+    n, c, _h, _w = xp.shape
+    sn, sc, sh, sw = xp.strides
+    return np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+class Pool2D(Layer):
+    """Pooling layer; a prime recomputation target (cheap, big output)."""
+
+    ltype = LayerType.POOL
+
+    def __init__(self, name: str, kernel: int, stride: int, pad: int = 0,
+                 mode: str = "max"):
+        super().__init__(name)
+        if mode not in ("max", "avg"):
+            raise ValueError(f"unknown pool mode {mode!r}")
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.mode = mode
+        # cudnnPoolingBackward(y, dy, x) -> dx reads both x and y; we
+        # mirror that dependency model (the paper's l_peak = 4 tensors
+        # at the backward of a big POOL/LRN layer depends on it) even
+        # though our max kernel only *uses* x and avg uses neither.
+        self.needs_inputs_in_backward = True
+        self.needs_output_in_backward = True
+
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) != 1:
+            raise ValueError(f"{self.name}: pool takes one input")
+        return pool2d_out_shape(in_shapes[0], self.kernel, self.stride,
+                                self.pad, ceil_mode=True)
+
+    def forward(self, inputs, ctx):
+        (x,) = inputs
+        _, _, oh, ow = self.out_shape
+        fill = -np.inf if self.mode == "max" else 0.0
+        xp = _pad_for_windows(x, self.kernel, self.stride, self.pad, oh, ow, fill)
+        win = _windows(xp, self.kernel, self.stride, oh, ow)
+        if self.mode == "max":
+            out = win.max(axis=(4, 5))
+        else:
+            out = win.mean(axis=(4, 5))
+        return out.astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        in_shape = self.in_shapes[0]
+        n, c, h, w = in_shape
+        _, _, oh, ow = self.out_shape
+        k, s = self.kernel, self.stride
+        if self.mode == "max":
+            (x,) = inputs
+            xp = _pad_for_windows(x, k, s, self.pad, oh, ow, -np.inf)
+            dxp = np.zeros_like(xp, dtype=np.float32)
+            win = _windows(xp, k, s, oh, ow).reshape(n, c, oh, ow, k * k)
+            arg = win.argmax(axis=4)
+            ki, kj = np.unravel_index(arg, (k, k))
+            oi = np.arange(oh)[None, None, :, None] * s
+            oj = np.arange(ow)[None, None, None, :] * s
+            rows = (oi + ki).ravel()
+            cols = (oj + kj).ravel()
+            ni = np.repeat(np.arange(n), c * oh * ow)
+            ci = np.tile(np.repeat(np.arange(c), oh * ow), n)
+            np.add.at(dxp, (ni, ci, rows, cols), grad_out.ravel())
+        else:
+            bottom = max(0, (oh - 1) * s + k - (h + self.pad))
+            right = max(0, (ow - 1) * s + k - (w + self.pad))
+            dxp = np.zeros(
+                (n, c, self.pad + h + bottom, self.pad + w + right),
+                dtype=np.float32,
+            )
+            g = grad_out / (k * k)
+            for i in range(k):
+                for j in range(k):
+                    dxp[:, :, i:i + s * oh:s, j:j + s * ow:s] += g
+        dx = dxp[:, :, self.pad:self.pad + h, self.pad:self.pad + w]
+        return [np.ascontiguousarray(dx)], []

@@ -1,0 +1,72 @@
+"""Softmax + cross-entropy loss (the network's terminal layer)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerType
+
+
+class SoftmaxLoss(Layer):
+    """Softmax over the channel axis with cross-entropy against labels.
+
+    Labels are provided by the upstream :class:`~repro.layers.data.DataLayer`
+    (set via :meth:`set_label_source`), mirroring Caffe's two-blob loss
+    layer without adding a second edge to the scheduling graph (labels
+    are a few KB and never scheduled).
+
+    ``forward`` outputs the probabilities; the scalar loss is stored in
+    :attr:`last_loss`.  ``backward`` ignores ``grad_out`` (it is the
+    route's terminal) and emits ``(probs - onehot) / N``.
+    """
+
+    ltype = LayerType.SOFTMAX
+    needs_inputs_in_backward = False  # (probs - onehot) uses the output
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._label_source = None
+        self.last_loss: Optional[float] = None
+
+    def set_label_source(self, data_layer) -> None:
+        self._label_source = data_layer
+
+    def infer_shape(self, in_shapes):
+        if len(in_shapes) != 1:
+            raise ValueError(f"{self.name}: softmax takes one input")
+        return in_shapes[0]
+
+    def _labels(self, n: int) -> Optional[np.ndarray]:
+        if self._label_source is None:
+            return None
+        labels = self._label_source.current_labels
+        if labels is not None and len(labels) != n:
+            raise ValueError(
+                f"label batch {len(labels)} != logits batch {n}"
+            )
+        return labels
+
+    def forward(self, inputs, ctx):
+        (x,) = inputs
+        n = x.shape[0]
+        logits = x.reshape(n, -1)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        probs = e / e.sum(axis=1, keepdims=True)
+        labels = self._labels(n)
+        if labels is not None:
+            picked = probs[np.arange(n), labels]
+            self.last_loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+        return probs.reshape(x.shape).astype(np.float32, copy=False)
+
+    def backward(self, inputs, output, grad_out, ctx):
+        n = output.shape[0]
+        probs = output.reshape(n, -1)
+        labels = self._labels(n)
+        d = probs.copy()
+        if labels is not None:
+            d[np.arange(n), labels] -= 1.0
+        d /= n
+        return [d.reshape(output.shape).astype(np.float32, copy=False)], []

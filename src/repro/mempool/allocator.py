@@ -1,0 +1,166 @@
+"""Allocator interface plus the two implementations Table 2 compares.
+
+Both allocators enforce the device capacity through the
+:class:`~repro.device.gpu.SimulatedGPU` ledger and charge their per-call
+latency to the compute stream of the shared timeline (cudaMalloc
+synchronizes the device, so its cost is serialized with kernels — that
+is why it hurts so much).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.device.gpu import OutOfMemoryError, SimulatedGPU
+from repro.device.timeline import Stream, Timeline
+from repro.mempool.heap_pool import HeapPool, PoolExhaustedError
+from repro.mempool.stats import AllocatorStats
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle for one live allocation."""
+
+    handle: int
+    nbytes: int
+    tag: str = ""
+
+
+class Allocator:
+    """Common bookkeeping for byte-usage and peak tracking."""
+
+    def __init__(self, gpu: SimulatedGPU, timeline: Optional[Timeline]):
+        self.gpu = gpu
+        self.timeline = timeline
+        self.stats = AllocatorStats()
+        self._used = 0
+        self._peak = 0
+
+    # subclasses implement _do_alloc/_do_free and the latency properties
+    def _do_alloc(self, nbytes: int, tag: str) -> int:
+        raise NotImplementedError
+
+    def _do_free(self, handle: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def alloc_latency(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def free_latency(self) -> float:
+        raise NotImplementedError
+
+    # -- public API -----------------------------------------------------------
+    def alloc(self, nbytes: int, tag: str = "") -> Allocation:
+        handle = self._do_alloc(nbytes, tag)
+        self._used += nbytes
+        self._peak = max(self._peak, self._used)
+        self.stats.allocs += 1
+        self.stats.alloc_bytes += nbytes
+        self.stats.overhead_seconds += self.alloc_latency
+        if self.timeline is not None:
+            self.timeline.advance(Stream.COMPUTE, self.alloc_latency, "alloc")
+        return Allocation(handle, nbytes, tag)
+
+    def free(self, allocation: Allocation) -> None:
+        self._do_free(allocation.handle)
+        self._used -= allocation.nbytes
+        self.stats.frees += 1
+        self.stats.overhead_seconds += self.free_latency
+        if self.timeline is not None:
+            self.timeline.advance(Stream.COMPUTE, self.free_latency, "free")
+
+    # -- usage accounting --------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    @property
+    def free_bytes(self) -> int:
+        raise NotImplementedError
+
+    def reset_peak(self) -> None:
+        self._peak = self._used
+
+
+class CudaAllocator(Allocator):
+    """Native cudaMalloc/cudaFree baseline: one device segment per call."""
+
+    def __init__(self, gpu: SimulatedGPU, timeline: Optional[Timeline] = None):
+        super().__init__(gpu, timeline)
+
+    def _do_alloc(self, nbytes: int, tag: str) -> int:
+        return self.gpu.reserve(nbytes, tag)
+
+    def _do_free(self, handle: int) -> None:
+        self.gpu.release(handle)
+
+    @property
+    def alloc_latency(self) -> float:
+        return self.gpu.model.cuda_malloc_latency
+
+    @property
+    def free_latency(self) -> float:
+        return self.gpu.model.cuda_free_latency
+
+    @property
+    def free_bytes(self) -> int:
+        return self.gpu.free_bytes
+
+
+class PoolAllocator(Allocator):
+    """Heap-pool allocator: one slab reserved up front, first-fit inside.
+
+    ``slab_bytes`` defaults to the whole device; the dynamic-workspace
+    experiments use smaller pools (3 GB / 5 GB in Fig. 12).
+    """
+
+    def __init__(
+        self,
+        gpu: SimulatedGPU,
+        timeline: Optional[Timeline] = None,
+        slab_bytes: Optional[int] = None,
+    ):
+        super().__init__(gpu, timeline)
+        self.slab_bytes = slab_bytes if slab_bytes is not None else gpu.free_bytes
+        self._slab_seg = gpu.reserve(self.slab_bytes, "heap-pool-slab")
+        self.pool = HeapPool(self.slab_bytes)
+
+    def _do_alloc(self, nbytes: int, tag: str) -> int:
+        try:
+            return self.pool.alloc(nbytes)
+        except PoolExhaustedError as exc:
+            # Surface as device OOM so capacity probes treat both
+            # allocators uniformly.
+            raise OutOfMemoryError(
+                nbytes, self.pool.free_bytes, self.slab_bytes
+            ) from exc
+
+    def _do_free(self, handle: int) -> None:
+        self.pool.free(handle)
+
+    @property
+    def alloc_latency(self) -> float:
+        return self.gpu.model.pool_alloc_latency
+
+    @property
+    def free_latency(self) -> float:
+        return self.gpu.model.pool_free_latency
+
+    @property
+    def free_bytes(self) -> int:
+        return self.pool.free_bytes
+
+    @property
+    def largest_free_bytes(self) -> int:
+        return self.pool.largest_free_bytes
+
+    def close(self) -> None:
+        """Return the slab to the device (test hygiene)."""
+        self.gpu.release(self._slab_seg)

@@ -1,0 +1,31 @@
+"""Allocator call counters and time accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AllocatorStats:
+    """Counts and simulated seconds spent in allocator calls.
+
+    Table 2's heap-pool speedup is precisely the ratio of iteration
+    times with ``overhead_seconds`` charged at native vs pool latency.
+    """
+
+    allocs: int = 0
+    frees: int = 0
+    alloc_bytes: int = 0
+    overhead_seconds: float = 0.0
+
+    @property
+    def calls(self) -> int:
+        return self.allocs + self.frees
+
+    def merge(self, other: "AllocatorStats") -> "AllocatorStats":
+        return AllocatorStats(
+            allocs=self.allocs + other.allocs,
+            frees=self.frees + other.frees,
+            alloc_bytes=self.alloc_bytes + other.alloc_bytes,
+            overhead_seconds=self.overhead_seconds + other.overhead_seconds,
+        )

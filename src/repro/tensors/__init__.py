@@ -1,0 +1,36 @@
+"""Tensor descriptors and payload stores.
+
+Tensors are the fundamental scheduling unit of the runtime (paper §3.1):
+every layer consumes and produces 4-D NCHW tensors, and the memory
+optimizations (liveness, offload/prefetch, recomputation) operate on
+tensor placement, not on raw bytes.
+
+Two halves live here:
+
+* :class:`~repro.tensors.tensor.Tensor` — the *descriptor*: shape, dtype,
+  byte size, placement state machine, and lock used by the LRU cache.
+* payload stores — where the actual numbers live.  ``ArrayStore`` holds
+  real NumPy arrays (concrete mode, used to verify numerics);
+  ``NullStore`` holds nothing (simulated mode, used for 12 GB-scale
+  capacity experiments on a laptop).
+"""
+
+from repro.tensors.tensor import Tensor, TensorKind, Placement
+from repro.tensors.store import ArrayStore, NullStore, PayloadStore
+from repro.tensors.shapes import (
+    conv2d_out_shape,
+    pool2d_out_shape,
+    nchw_nbytes,
+)
+
+__all__ = [
+    "Tensor",
+    "TensorKind",
+    "Placement",
+    "ArrayStore",
+    "NullStore",
+    "PayloadStore",
+    "conv2d_out_shape",
+    "pool2d_out_shape",
+    "nchw_nbytes",
+]

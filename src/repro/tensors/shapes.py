@@ -1,0 +1,79 @@
+"""Shape inference helpers shared by layers and the network zoo."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+Shape4 = Tuple[int, int, int, int]
+
+
+def as_pair(v) -> Tuple[int, int]:
+    """Normalize an int-or-(h, w) argument to an (h, w) pair."""
+    if isinstance(v, (tuple, list)):
+        if len(v) != 2:
+            raise ValueError(f"expected (h, w) pair, got {v}")
+        return int(v[0]), int(v[1])
+    return int(v), int(v)
+
+
+def conv2d_out_shape(
+    in_shape: Shape4,
+    out_channels: int,
+    kernel,
+    stride: int = 1,
+    pad=0,
+) -> Shape4:
+    """Output shape of a 2-D convolution over an NCHW input.
+
+    ``kernel`` and ``pad`` accept an int or an (h, w) pair (rectangular
+    kernels, e.g. Inception v4's factorized 1x7/7x1 convolutions).
+    Uses the standard floor formula ``(H + 2p - k) // s + 1``; raises if
+    the kernel does not fit, which catches zoo construction bugs early.
+    """
+    n, _c, h, w = in_shape
+    kh, kw = as_pair(kernel)
+    ph, pw = as_pair(pad)
+    oh = (h + 2 * ph - kh) // stride + 1
+    ow = (w + 2 * pw - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"conv kernel {kh}x{kw} stride {stride} pad {ph}x{pw} "
+            f"does not fit input {in_shape}"
+        )
+    return (n, out_channels, oh, ow)
+
+
+def pool2d_out_shape(
+    in_shape: Shape4,
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+    ceil_mode: bool = True,
+) -> Shape4:
+    """Output shape of a 2-D pooling window.
+
+    Caffe (the paper's reference implementation for AlexNet) uses ceil
+    pooling, so that is the default.
+    """
+    n, c, h, w = in_shape
+    if ceil_mode:
+        oh = -((h + 2 * pad - kernel) // -stride) + 1
+        ow = -((w + 2 * pad - kernel) // -stride) + 1
+    else:
+        oh = (h + 2 * pad - kernel) // stride + 1
+        ow = (w + 2 * pad - kernel) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"pool kernel {kernel} stride {stride} does not fit {in_shape}"
+        )
+    return (n, c, oh, ow)
+
+
+def nchw_nbytes(shape: Tuple[int, ...], dtype=np.float32) -> int:
+    """Byte size of a dense tensor of the given shape and dtype."""
+    n = 1
+    for d in shape:
+        n *= int(d)
+    return n * np.dtype(dtype).itemsize

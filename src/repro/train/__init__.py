@@ -1,0 +1,7 @@
+"""Training utilities: SGD trainer and numerical gradient checking."""
+
+from repro.train.gradcheck import grad_check_layer, numerical_grad
+from repro.train.sgd import SGD
+from repro.train.trainer import Trainer, TrainStats
+
+__all__ = ["grad_check_layer", "numerical_grad", "SGD", "Trainer", "TrainStats"]

@@ -1,0 +1,117 @@
+"""Central-difference gradient checking for layers.
+
+Every layer's analytic backward is validated against a numerical
+gradient of a scalar functional ``L = sum(forward(x) * R)`` with a fixed
+random cotangent ``R``.  Checks run in float64 to keep the difference
+quotient well-conditioned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.layers.base import Layer, LayerContext
+
+
+def numerical_grad(
+    f: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of scalar f at x (dense, O(2·numel))."""
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f(x)
+        flat[i] = orig - eps
+        fm = f(x)
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+def grad_check_layer(
+    layer: Layer,
+    inputs: List[np.ndarray],
+    ctx: LayerContext | None = None,
+    eps: float = 1e-3,
+    rtol: float = 2e-3,
+    atol: float = 1e-4,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    # NOTE on tolerances: layer kernels run in float32, so the loss
+    # carries ~1e-6 relative noise; with a central difference at
+    # eps=1e-3 the quotient noise lands around 1e-3 — hence the looser
+    # defaults than a float64 checker would use.
+    """Compare analytic vs numerical grads for inputs and params.
+
+    Returns the max relative error over (inputs, params); raises
+    AssertionError with a diagnostic on mismatch.
+    """
+    ctx = ctx or LayerContext(iteration=0, training=True)
+    rng = np.random.default_rng(seed)
+    inputs64 = [x.astype(np.float64) for x in inputs]
+
+    out = layer.forward([x.astype(np.float32) for x in inputs64], ctx)
+    cotangent = rng.standard_normal(out.shape)
+
+    def loss_with_inputs(xs: List[np.ndarray]) -> float:
+        y = layer.forward([x.astype(np.float32) for x in xs], ctx)
+        return float((y.astype(np.float64) * cotangent).sum())
+
+    grads_in, grads_p = layer.backward(
+        [x.astype(np.float32) for x in inputs64],
+        out,
+        cotangent.astype(np.float32),
+        ctx,
+    )
+
+    worst_in = 0.0
+    for idx, x in enumerate(inputs64):
+        def f(v, idx=idx):
+            xs = list(inputs64)
+            xs[idx] = v
+            return loss_with_inputs(xs)
+
+        num = numerical_grad(f, x.copy(), eps)
+        ana = grads_in[idx].astype(np.float64)
+        err = _rel_err(ana, num, atol)
+        worst_in = max(worst_in, err)
+        if err > rtol:
+            raise AssertionError(
+                f"{layer.name}: input[{idx}] grad mismatch rel_err={err:.3e} "
+                f"(analytic range [{ana.min():.3e},{ana.max():.3e}])"
+            )
+
+    worst_p = 0.0
+    for p_idx, p in enumerate(layer.params):
+        pv = layer.param_values[p.tensor_id]
+
+        def f_param(v, p=p):
+            old = layer.param_values[p.tensor_id]
+            layer.param_values[p.tensor_id] = v.astype(np.float32)
+            try:
+                return loss_with_inputs(inputs64)
+            finally:
+                layer.param_values[p.tensor_id] = old
+
+        num = numerical_grad(f_param, pv.astype(np.float64).copy(), eps)
+        ana = grads_p[p_idx].astype(np.float64)
+        err = _rel_err(ana, num, atol)
+        worst_p = max(worst_p, err)
+        if err > rtol:
+            raise AssertionError(
+                f"{layer.name}: param {p.name} grad mismatch rel_err={err:.3e}"
+            )
+    return worst_in, worst_p
+
+
+def _rel_err(a: np.ndarray, b: np.ndarray, atol: float) -> float:
+    """L2-relative error: robust to float32 noise on near-zero entries."""
+    denom = max(float(np.linalg.norm(a)), float(np.linalg.norm(b)), atol)
+    return float(np.linalg.norm(a - b)) / denom

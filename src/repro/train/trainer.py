@@ -1,0 +1,52 @@
+"""End-to-end trainer: Executor + SGD over iterations.
+
+In concrete mode this performs *real* training — the loss goes down —
+under whatever memory configuration the executor was given.  The test
+suite's equivalence checks run the same net through different configs
+and require identical losses at every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import Executor, IterationResult
+from repro.graph.network import Net
+from repro.train.sgd import SGD
+
+
+@dataclass
+class TrainStats:
+    losses: List[float] = field(default_factory=list)
+    results: List[IterationResult] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.losses[-1] if self.losses else None
+
+
+class Trainer:
+    """Owns an executor and an optimizer; runs iterations."""
+
+    def __init__(
+        self,
+        net: Net,
+        config: Optional[RuntimeConfig] = None,
+        optimizer: Optional[SGD] = None,
+    ):
+        self.executor = Executor(net, config)
+        self.optimizer = optimizer or SGD(lr=0.01)
+
+    def train(self, iterations: int, start_iteration: int = 0) -> TrainStats:
+        stats = TrainStats()
+        for i in range(start_iteration, start_iteration + iterations):
+            res = self.executor.run_iteration(i, optimizer=self.optimizer)
+            if res.loss is not None:
+                stats.losses.append(res.loss)
+            stats.results.append(res)
+        return stats
+
+    def close(self) -> None:
+        self.executor.close()

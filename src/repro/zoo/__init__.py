@@ -1,0 +1,39 @@
+"""Network zoo: every architecture the paper evaluates.
+
+All builders take ``batch`` and ``image`` so tests can run tiny concrete
+instances of the same topology the benchmarks run at paper scale.
+"""
+
+from repro.zoo.alexnet import alexnet
+from repro.zoo.vgg import vgg16, vgg19
+from repro.zoo.resnet import resnet, resnet_from_units, resnet50, resnet101, resnet152
+from repro.zoo.inception import inception_v4
+from repro.zoo.densenet import densenet
+from repro.zoo.lenet import lenet
+
+NETWORK_BUILDERS = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "resnet152": resnet152,
+    "inception_v4": inception_v4,
+    "densenet": densenet,
+    "lenet": lenet,
+}
+
+__all__ = [
+    "alexnet",
+    "vgg16",
+    "vgg19",
+    "resnet",
+    "resnet_from_units",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "inception_v4",
+    "densenet",
+    "lenet",
+    "NETWORK_BUILDERS",
+]

@@ -1,0 +1,57 @@
+"""AlexNet, exactly the 23-layer structure of the paper's footnote 3:
+
+CONV1→RELU1→LRN1→POOL1→CONV2→RELU2→LRN2→POOL2→CONV3→RELU3→CONV4→RELU4
+→CONV5→RELU5→POOL5→FC1→RELU6→Dropout1→FC2→RELU7→Dropout2→FC3→Softmax
+
+(plus the DataLayer source, which the paper does not count).
+"""
+
+from __future__ import annotations
+
+from repro.graph.network import Net
+from repro.layers import (
+    Conv2D,
+    DataLayer,
+    Dropout,
+    FullyConnected,
+    LRN,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+
+
+def alexnet(batch: int = 200, image: int = 227, num_classes: int = 1000,
+            channels: int = 3) -> Net:
+    """The single-column AlexNet used throughout the paper's evaluation.
+
+    ``image`` can be shrunk (to e.g. 67) for concrete-mode tests; the
+    conv geometry checks that the kernels still fit.
+    """
+    net = Net("alexnet")
+    net.add(DataLayer("data", (batch, channels, image, image),
+                      num_classes=num_classes))
+    net.add(Conv2D("conv1", 96, kernel=11, stride=4))
+    net.add(ReLU("relu1"))
+    net.add(LRN("lrn1"))
+    net.add(Pool2D("pool1", kernel=3, stride=2))
+    net.add(Conv2D("conv2", 256, kernel=5, pad=2))
+    net.add(ReLU("relu2"))
+    net.add(LRN("lrn2"))
+    net.add(Pool2D("pool2", kernel=3, stride=2))
+    net.add(Conv2D("conv3", 384, kernel=3, pad=1))
+    net.add(ReLU("relu3"))
+    net.add(Conv2D("conv4", 384, kernel=3, pad=1))
+    net.add(ReLU("relu4"))
+    net.add(Conv2D("conv5", 256, kernel=3, pad=1))
+    net.add(ReLU("relu5"))
+    net.add(Pool2D("pool5", kernel=3, stride=2))
+    net.add(FullyConnected("fc1", 4096))
+    net.add(ReLU("relu6"))
+    net.add(Dropout("drop1", 0.5))
+    net.add(FullyConnected("fc2", 4096))
+    net.add(ReLU("relu7"))
+    net.add(Dropout("drop2", 0.5))
+    net.add(FullyConnected("fc3", num_classes))
+    net.add(SoftmaxLoss("softmax"))
+    return net.build()

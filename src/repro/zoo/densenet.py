@@ -1,0 +1,67 @@
+"""DenseNet-BC: the full-join architecture of paper Fig. 1b (right).
+
+Every dense layer concatenates its input with its output, so layer k
+depends on *all* previous outputs in the block — the worst case for
+static memory planners and the motivating example for dynamic liveness.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.network import Net
+from repro.layers import (
+    BatchNorm,
+    Concat,
+    Conv2D,
+    DataLayer,
+    FullyConnected,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+from repro.layers.base import Layer
+
+
+def _dense_layer(net: Net, tag: str, x: Layer, growth: int) -> Layer:
+    b1 = net.add(BatchNorm(f"{tag}_b1"), [x])
+    r1 = net.add(ReLU(f"{tag}_r1"), [b1])
+    c1 = net.add(Conv2D(f"{tag}_c1", 4 * growth, kernel=1, bias=False), [r1])
+    b2 = net.add(BatchNorm(f"{tag}_b2"), [c1])
+    r2 = net.add(ReLU(f"{tag}_r2"), [b2])
+    c2 = net.add(Conv2D(f"{tag}_c2", growth, kernel=3, pad=1, bias=False),
+                 [r2])
+    return net.add(Concat(f"{tag}_cat"), [x, c2])
+
+
+def _transition(net: Net, tag: str, x: Layer) -> Layer:
+    out_ch = x.out_shape[1] // 2
+    b = net.add(BatchNorm(f"{tag}_b"), [x])
+    r = net.add(ReLU(f"{tag}_r"), [b])
+    c = net.add(Conv2D(f"{tag}_c", out_ch, kernel=1, bias=False), [r])
+    return net.add(Pool2D(f"{tag}_p", kernel=2, stride=2, mode="avg"), [c])
+
+
+def densenet(batch: int = 32, image: int = 224, num_classes: int = 1000,
+             channels: int = 3, growth: int = 32,
+             blocks: Tuple[int, ...] = (6, 12, 24, 16)) -> Net:
+    net = Net("densenet")
+    data = net.add(DataLayer("data", (batch, channels, image, image),
+                             num_classes=num_classes))
+    c = net.add(Conv2D("conv1", 2 * growth, kernel=7, stride=2, pad=3,
+                       bias=False), [data])
+    b = net.add(BatchNorm("bn1"), [c])
+    r = net.add(ReLU("relu1"), [b])
+    x: Layer = net.add(Pool2D("pool1", kernel=3, stride=2, pad=1), [r])
+    for bi, n_layers in enumerate(blocks, start=1):
+        for li in range(n_layers):
+            x = _dense_layer(net, f"d{bi}_{li}", x, growth)
+        if bi != len(blocks):
+            x = _transition(net, f"t{bi}", x)
+    b = net.add(BatchNorm("bn_final"), [x])
+    r = net.add(ReLU("relu_final"), [b])
+    spatial = r.out_shape[2]
+    g = net.add(Pool2D("gap", kernel=spatial, stride=spatial, mode="avg"), [r])
+    f = net.add(FullyConnected("fc", num_classes), [g])
+    net.add(SoftmaxLoss("softmax"), [f])
+    return net.build()

@@ -1,0 +1,140 @@
+"""Inception v4 with fan/join blocks.
+
+Uses the original's factorized 1x7/7x1 convolutions (Conv2D supports
+rectangular kernels), so block B matches Szegedy et al.'s structure; the
+block counts default to (4, 7, 3) — the full paper-scale network.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.network import Net
+from repro.layers import (
+    BatchNorm,
+    Concat,
+    Conv2D,
+    DataLayer,
+    Dropout,
+    FullyConnected,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+from repro.layers.base import Layer
+
+
+def _cbr(net: Net, tag: str, inp: Layer, width: int, kernel,
+         stride: int = 1, pad=0) -> Layer:
+    c = net.add(Conv2D(f"{tag}_c", width, kernel=kernel, stride=stride,
+                       pad=pad, bias=False), [inp])
+    b = net.add(BatchNorm(f"{tag}_b"), [c])
+    return net.add(ReLU(f"{tag}_r"), [b])
+
+
+def _stem(net: Net, data: Layer) -> Layer:
+    x = _cbr(net, "stem1", data, 32, 3, stride=2)
+    x = _cbr(net, "stem2", x, 32, 3)
+    x = _cbr(net, "stem3", x, 64, 3, pad=1)
+    p = net.add(Pool2D("stem_pool1", kernel=3, stride=2), [x])
+    c = _cbr(net, "stem4", x, 96, 3, stride=2)
+    x = net.add(Concat("stem_cat1"), [p, c])
+    a = _cbr(net, "stem5a1", x, 64, 1)
+    a = _cbr(net, "stem5a2", a, 96, 3)
+    b = _cbr(net, "stem5b1", x, 64, 1)
+    b = _cbr(net, "stem5b2", b, 64, (1, 7), pad=(0, 3))
+    b = _cbr(net, "stem5b3", b, 64, (7, 1), pad=(3, 0))
+    b = _cbr(net, "stem5b4", b, 96, 3)
+    x = net.add(Concat("stem_cat2"), [a, b])
+    c = _cbr(net, "stem6", x, 192, 3, stride=2)
+    p = net.add(Pool2D("stem_pool2", kernel=3, stride=2), [x])
+    return net.add(Concat("stem_cat3"), [c, p])
+
+
+def _inception_a(net: Net, tag: str, x: Layer) -> Layer:
+    p = net.add(Pool2D(f"{tag}_pool", kernel=3, stride=1, pad=1, mode="avg"),
+                [x])
+    b0 = _cbr(net, f"{tag}_b0", p, 96, 1)
+    b1 = _cbr(net, f"{tag}_b1", x, 96, 1)
+    b2 = _cbr(net, f"{tag}_b2a", x, 64, 1)
+    b2 = _cbr(net, f"{tag}_b2b", b2, 96, 3, pad=1)
+    b3 = _cbr(net, f"{tag}_b3a", x, 64, 1)
+    b3 = _cbr(net, f"{tag}_b3b", b3, 96, 3, pad=1)
+    b3 = _cbr(net, f"{tag}_b3c", b3, 96, 3, pad=1)
+    return net.add(Concat(f"{tag}_cat"), [b0, b1, b2, b3])
+
+
+def _reduction_a(net: Net, tag: str, x: Layer) -> Layer:
+    p = net.add(Pool2D(f"{tag}_pool", kernel=3, stride=2), [x])
+    b1 = _cbr(net, f"{tag}_b1", x, 384, 3, stride=2)
+    b2 = _cbr(net, f"{tag}_b2a", x, 192, 1)
+    b2 = _cbr(net, f"{tag}_b2b", b2, 224, 3, pad=1)
+    b2 = _cbr(net, f"{tag}_b2c", b2, 256, 3, stride=2)
+    return net.add(Concat(f"{tag}_cat"), [p, b1, b2])
+
+
+def _inception_b(net: Net, tag: str, x: Layer) -> Layer:
+    p = net.add(Pool2D(f"{tag}_pool", kernel=3, stride=1, pad=1, mode="avg"),
+                [x])
+    b0 = _cbr(net, f"{tag}_b0", p, 128, 1)
+    b1 = _cbr(net, f"{tag}_b1", x, 384, 1)
+    b2 = _cbr(net, f"{tag}_b2a", x, 192, 1)
+    b2 = _cbr(net, f"{tag}_b2b", b2, 224, (1, 7), pad=(0, 3))
+    b2 = _cbr(net, f"{tag}_b2c", b2, 256, (7, 1), pad=(3, 0))
+    b3 = _cbr(net, f"{tag}_b3a", x, 192, 1)
+    b3 = _cbr(net, f"{tag}_b3b", b3, 192, (7, 1), pad=(3, 0))
+    b3 = _cbr(net, f"{tag}_b3c", b3, 224, (1, 7), pad=(0, 3))
+    b3 = _cbr(net, f"{tag}_b3d", b3, 224, (7, 1), pad=(3, 0))
+    b3 = _cbr(net, f"{tag}_b3e", b3, 256, (1, 7), pad=(0, 3))
+    return net.add(Concat(f"{tag}_cat"), [b0, b1, b2, b3])
+
+
+def _reduction_b(net: Net, tag: str, x: Layer) -> Layer:
+    p = net.add(Pool2D(f"{tag}_pool", kernel=3, stride=2), [x])
+    b1 = _cbr(net, f"{tag}_b1a", x, 192, 1)
+    b1 = _cbr(net, f"{tag}_b1b", b1, 192, 3, stride=2)
+    b2 = _cbr(net, f"{tag}_b2a", x, 256, 1)
+    b2 = _cbr(net, f"{tag}_b2b", b2, 256, (1, 7), pad=(0, 3))
+    b2 = _cbr(net, f"{tag}_b2c", b2, 320, (7, 1), pad=(3, 0))
+    b2 = _cbr(net, f"{tag}_b2d", b2, 320, 3, stride=2)
+    return net.add(Concat(f"{tag}_cat"), [p, b1, b2])
+
+
+def _inception_c(net: Net, tag: str, x: Layer) -> Layer:
+    p = net.add(Pool2D(f"{tag}_pool", kernel=3, stride=1, pad=1, mode="avg"),
+                [x])
+    b0 = _cbr(net, f"{tag}_b0", p, 256, 1)
+    b1 = _cbr(net, f"{tag}_b1", x, 256, 1)
+    b2 = _cbr(net, f"{tag}_b2", x, 384, 1)
+    b2a = _cbr(net, f"{tag}_b2x", b2, 256, (1, 3), pad=(0, 1))
+    b2b = _cbr(net, f"{tag}_b2y", b2, 256, (3, 1), pad=(1, 0))
+    b3 = _cbr(net, f"{tag}_b3a", x, 384, 1)
+    b3 = _cbr(net, f"{tag}_b3b", b3, 448, (3, 1), pad=(1, 0))
+    b3 = _cbr(net, f"{tag}_b3c", b3, 512, (1, 3), pad=(0, 1))
+    b3a = _cbr(net, f"{tag}_b3x", b3, 256, (1, 3), pad=(0, 1))
+    b3b = _cbr(net, f"{tag}_b3y", b3, 256, (3, 1), pad=(1, 0))
+    return net.add(Concat(f"{tag}_cat"), [b0, b1, b2a, b2b, b3a, b3b])
+
+
+def inception_v4(batch: int = 32, image: int = 299, num_classes: int = 1000,
+                 channels: int = 3, blocks: tuple = (4, 7, 3)) -> Net:
+    """Inception v4: stem + A·nA + redA + B·nB + redB + C·nC + head."""
+    na, nb, nc = blocks
+    net = Net("inception_v4")
+    data = net.add(DataLayer("data", (batch, channels, image, image),
+                             num_classes=num_classes))
+    x = _stem(net, data)
+    for i in range(na):
+        x = _inception_a(net, f"a{i}", x)
+    x = _reduction_a(net, "ra", x)
+    for i in range(nb):
+        x = _inception_b(net, f"b{i}", x)
+    x = _reduction_b(net, "rb", x)
+    for i in range(nc):
+        x = _inception_c(net, f"c{i}", x)
+    spatial = x.out_shape[2]
+    x = net.add(Pool2D("gap", kernel=spatial, stride=spatial, mode="avg"), [x])
+    x = net.add(Dropout("drop", 0.2), [x])
+    x = net.add(FullyConnected("fc", num_classes), [x])
+    net.add(SoftmaxLoss("softmax"), [x])
+    return net.build()

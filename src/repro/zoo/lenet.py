@@ -1,0 +1,33 @@
+"""LeNet-5: the small concrete-mode workhorse for tests and examples."""
+
+from __future__ import annotations
+
+from repro.graph.network import Net
+from repro.layers import (
+    Conv2D,
+    DataLayer,
+    FullyConnected,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+
+
+def lenet(batch: int = 32, image: int = 28, num_classes: int = 10,
+          channels: int = 1) -> Net:
+    net = Net("lenet")
+    net.add(DataLayer("data", (batch, channels, image, image),
+                      num_classes=num_classes))
+    net.add(Conv2D("conv1", 6, kernel=5, pad=2))
+    net.add(ReLU("relu1"))
+    net.add(Pool2D("pool1", kernel=2, stride=2))
+    net.add(Conv2D("conv2", 16, kernel=5))
+    net.add(ReLU("relu2"))
+    net.add(Pool2D("pool2", kernel=2, stride=2))
+    net.add(FullyConnected("fc1", 120))
+    net.add(ReLU("relu3"))
+    net.add(FullyConnected("fc2", 84))
+    net.add(ReLU("relu4"))
+    net.add(FullyConnected("fc3", num_classes))
+    net.add(SoftmaxLoss("softmax"))
+    return net.build()

@@ -1,0 +1,101 @@
+"""ResNet with bottleneck blocks and the paper's depth formula.
+
+``depth = 3*(n1+n2+n3+n4) + 2`` where ``ni`` is the number of bottleneck
+units in stage i (paper Table 4's caption).  The going-deeper experiment
+fixes ``n1=6, n2=32, n4=6`` and sweeps ``n3``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.network import Net
+from repro.layers import (
+    BatchNorm,
+    Conv2D,
+    DataLayer,
+    FullyConnected,
+    Join,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+from repro.layers.base import Layer
+
+
+def _bottleneck(net: Net, tag: str, inp: Layer, planes: int,
+                stride: int, project: bool) -> Layer:
+    """conv1x1 -> conv3x3 -> conv1x1(4x) with a Join shortcut."""
+    out_ch = planes * 4
+    c1 = net.add(Conv2D(f"{tag}_c1", planes, kernel=1, bias=False), [inp])
+    b1 = net.add(BatchNorm(f"{tag}_b1"), [c1])
+    r1 = net.add(ReLU(f"{tag}_r1"), [b1])
+    c2 = net.add(Conv2D(f"{tag}_c2", planes, kernel=3, stride=stride,
+                        pad=1, bias=False), [r1])
+    b2 = net.add(BatchNorm(f"{tag}_b2"), [c2])
+    r2 = net.add(ReLU(f"{tag}_r2"), [b2])
+    c3 = net.add(Conv2D(f"{tag}_c3", out_ch, kernel=1, bias=False), [r2])
+    b3 = net.add(BatchNorm(f"{tag}_b3"), [c3])
+    if project:
+        sc = net.add(Conv2D(f"{tag}_sc", out_ch, kernel=1, stride=stride,
+                            bias=False), [inp])
+        sb = net.add(BatchNorm(f"{tag}_sb"), [sc])
+        shortcut: Layer = sb
+    else:
+        shortcut = inp
+    j = net.add(Join(f"{tag}_join"), [b3, shortcut])
+    return net.add(ReLU(f"{tag}_out"), [j])
+
+
+def resnet_from_units(units: Tuple[int, int, int, int], batch: int = 32,
+                      image: int = 224, num_classes: int = 1000,
+                      channels: int = 3, name: str | None = None) -> Net:
+    n1, n2, n3, n4 = units
+    depth = 3 * (n1 + n2 + n3 + n4) + 2
+    net = Net(name or f"resnet{depth}")
+    data = net.add(DataLayer("data", (batch, channels, image, image),
+                             num_classes=num_classes))
+    c = net.add(Conv2D("conv1", 64, kernel=7, stride=2, pad=3, bias=False),
+                [data])
+    b = net.add(BatchNorm("bn1"), [c])
+    r = net.add(ReLU("relu1"), [b])
+    x: Layer = net.add(Pool2D("pool1", kernel=3, stride=2, pad=1), [r])
+
+    planes = 64
+    for stage, n_units in enumerate((n1, n2, n3, n4), start=1):
+        for u in range(n_units):
+            stride = 2 if (stage > 1 and u == 0) else 1
+            project = u == 0
+            x = _bottleneck(net, f"s{stage}u{u}", x, planes, stride, project)
+        planes *= 2
+
+    spatial = x.out_shape[2]
+    x = net.add(Pool2D("gap", kernel=spatial, stride=spatial, mode="avg"), [x])
+    x = net.add(FullyConnected("fc", num_classes), [x])
+    net.add(SoftmaxLoss("softmax"), [x])
+    return net.build()
+
+
+def resnet(depth_n3: int, batch: int = 16, image: int = 224,
+           num_classes: int = 1000, channels: int = 3) -> Net:
+    """The paper's Table-4 parameterization: n1=6, n2=32, n4=6, vary n3."""
+    return resnet_from_units((6, 32, depth_n3, 6), batch, image,
+                             num_classes, channels)
+
+
+def resnet50(batch: int = 32, image: int = 224, num_classes: int = 1000,
+             channels: int = 3) -> Net:
+    return resnet_from_units((3, 4, 6, 3), batch, image, num_classes,
+                             channels, name="resnet50")
+
+
+def resnet101(batch: int = 32, image: int = 224, num_classes: int = 1000,
+              channels: int = 3) -> Net:
+    return resnet_from_units((3, 4, 23, 3), batch, image, num_classes,
+                             channels, name="resnet101")
+
+
+def resnet152(batch: int = 32, image: int = 224, num_classes: int = 1000,
+              channels: int = 3) -> Net:
+    return resnet_from_units((3, 8, 36, 3), batch, image, num_classes,
+                             channels, name="resnet152")

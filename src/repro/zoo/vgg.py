@@ -1,0 +1,52 @@
+"""VGG-16 / VGG-19 (configurations D and E)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.network import Net
+from repro.layers import (
+    Conv2D,
+    DataLayer,
+    Dropout,
+    FullyConnected,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+
+_VGG16_BLOCKS: List[List[int]] = [[64, 64], [128, 128], [256, 256, 256],
+                                  [512, 512, 512], [512, 512, 512]]
+_VGG19_BLOCKS: List[List[int]] = [[64, 64], [128, 128], [256] * 4,
+                                  [512] * 4, [512] * 4]
+
+
+def _vgg(name: str, blocks: List[List[int]], batch: int, image: int,
+         num_classes: int, channels: int) -> Net:
+    net = Net(name)
+    net.add(DataLayer("data", (batch, channels, image, image),
+                      num_classes=num_classes))
+    for b, widths in enumerate(blocks, start=1):
+        for i, width in enumerate(widths, start=1):
+            net.add(Conv2D(f"conv{b}_{i}", width, kernel=3, pad=1))
+            net.add(ReLU(f"relu{b}_{i}"))
+        net.add(Pool2D(f"pool{b}", kernel=2, stride=2))
+    net.add(FullyConnected("fc6", 4096))
+    net.add(ReLU("relu6"))
+    net.add(Dropout("drop6", 0.5))
+    net.add(FullyConnected("fc7", 4096))
+    net.add(ReLU("relu7"))
+    net.add(Dropout("drop7", 0.5))
+    net.add(FullyConnected("fc8", num_classes))
+    net.add(SoftmaxLoss("softmax"))
+    return net.build()
+
+
+def vgg16(batch: int = 32, image: int = 224, num_classes: int = 1000,
+          channels: int = 3) -> Net:
+    return _vgg("vgg16", _VGG16_BLOCKS, batch, image, num_classes, channels)
+
+
+def vgg19(batch: int = 32, image: int = 224, num_classes: int = 1000,
+          channels: int = 3) -> Net:
+    return _vgg("vgg19", _VGG19_BLOCKS, batch, image, num_classes, channels)

@@ -1,0 +1,113 @@
+"""Unit tests for the LRU tensor cache (paper Alg. 2)."""
+
+import pytest
+
+from repro.core.cache import TensorCache
+from repro.tensors.tensor import Tensor, TensorKind
+
+
+def _t(kb: int, name: str = "") -> Tensor:
+    return Tensor((1, 1, 1, 256 * kb), name=name)  # kb KiB tensors
+
+
+class TestLRUOrder:
+    def test_insert_puts_at_mru(self):
+        c = TensorCache()
+        a, b = _t(1, "a"), _t(1, "b")
+        c.insert(a)
+        c.insert(b)
+        assert [t.name for t in c.lru_order()] == ["b", "a"]
+
+    def test_touch_moves_to_front(self):
+        c = TensorCache()
+        a, b, d = _t(1, "a"), _t(1, "b"), _t(1, "d")
+        for t in (a, b, d):
+            c.insert(t)
+        assert c.touch(a)
+        assert [t.name for t in c.lru_order()] == ["a", "d", "b"]
+
+    def test_touch_miss_counts(self):
+        c = TensorCache()
+        t = _t(1)
+        assert not c.touch(t)
+        assert c.misses == 1
+        c.insert(t)
+        assert c.touch(t)
+        assert c.hits == 1
+
+    def test_remove_is_idempotent(self):
+        c = TensorCache()
+        t = _t(1)
+        c.insert(t)
+        c.remove(t)
+        c.remove(t)
+        assert t not in c
+        assert len(c) == 0
+
+
+class TestEviction:
+    def test_evicts_lru_first(self):
+        c = TensorCache()
+        a, b, d = _t(4, "a"), _t(4, "b"), _t(4, "d")
+        for t in (a, b, d):
+            c.insert(t)
+        evicted = []
+
+        def cb(t):
+            evicted.append(t.name)
+            return t.nbytes
+
+        freed = c.evict_for(4 * 1024, cb)
+        assert evicted == ["a"]          # oldest goes first
+        assert freed == a.nbytes
+
+    def test_evicts_until_enough(self):
+        c = TensorCache()
+        ts = [_t(4, f"t{i}") for i in range(4)]
+        for t in ts:
+            c.insert(t)
+        freed = c.evict_for(10 * 1024, lambda t: t.nbytes)
+        assert freed >= 10 * 1024
+        assert len(c) == 1  # three evicted (4K each)
+
+    def test_locked_tensors_survive(self):
+        c = TensorCache()
+        a, b = _t(4, "a"), _t(4, "b")
+        c.insert(a)
+        c.insert(b)
+        a.lock()
+        evicted = []
+        c.evict_for(4 * 1024, lambda t: evicted.append(t.name) or t.nbytes)
+        assert evicted == ["b"]
+        assert a in c
+
+    def test_all_locked_frees_nothing(self):
+        c = TensorCache()
+        ts = [_t(2, f"t{i}") for i in range(3)]
+        for t in ts:
+            c.insert(t)
+            t.lock()
+        assert c.evict_for(1024, lambda t: t.nbytes) == 0
+        assert len(c) == 3
+
+    def test_eviction_counter(self):
+        c = TensorCache()
+        for i in range(3):
+            c.insert(_t(2, f"t{i}"))
+        c.evict_for(6 * 1024, lambda t: t.nbytes)
+        assert c.evictions == 3
+
+
+class TestBackwardFriendlyOrder:
+    def test_backward_pattern_hits(self):
+        """The paper's rationale: backward wants the most recently
+        produced tensors first, which LRU keeps at the front."""
+        c = TensorCache()
+        produced = [_t(1, f"l{i}") for i in range(10)]
+        for t in produced:
+            c.insert(t)
+        # backward touches in reverse production order: all hits, and
+        # eviction pressure would always hit the oldest (least useful)
+        for t in reversed(produced):
+            assert c.touch(t)
+        assert c.hits == 10

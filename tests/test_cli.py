@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_report_runs(self, capsys):
+        rc = main(["report", "--net", "lenet", "--batch", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "peak memory" in out
+        assert "img/s" in out
+
+    def test_report_oom_exit_code(self, capsys):
+        rc = main(["report", "--net", "vgg16", "--batch", "512",
+                   "--framework", "caffe", "--gpu-gb", "1"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "does NOT fit" in out
+
+    def test_trace_prints_steps(self, capsys):
+        rc = main(["trace", "--net", "lenet", "--batch", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conv1:f" in out
+        assert "conv1:b" in out
+
+    def test_probe_batch(self, capsys):
+        rc = main(["probe", "--net", "lenet", "--batch", "4",
+                   "--limit", "64", "--gpu-gb", "0.25"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "largest lenet batch" in out
+
+    def test_breakdown(self, capsys):
+        rc = main(["breakdown", "--net", "lenet", "--batch", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CONV" in out and "% time" in out
+
+    def test_unknown_net_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--net", "nope"])
+
+    def test_framework_choices(self, capsys):
+        for fw in ("caffe", "mxnet", "tensorflow"):
+            rc = main(["report", "--net", "lenet", "--batch", "4",
+                       "--framework", fw])
+            assert rc == 0

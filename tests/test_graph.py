@@ -1,0 +1,178 @@
+"""Tests for Net wiring and Alg. 1 route construction."""
+
+import pytest
+
+from repro.graph import ExecutionRoute, Net, Phase
+from repro.layers import (
+    Concat,
+    Conv2D,
+    DataLayer,
+    FullyConnected,
+    Join,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+from repro.zoo import alexnet, lenet, resnet_from_units
+
+
+def fan_net(batch=2, image=8):
+    """The paper's Fig. 3c fan: DATA forks two branches, joined by concat."""
+    net = Net("fan")
+    d = net.add(DataLayer("data", (batch, 3, image, image)))
+    a1 = net.add(Conv2D("conv_a", 4, kernel=3, pad=1), [d])
+    a2 = net.add(ReLU("relu_a"), [a1])
+    b1 = net.add(Conv2D("conv_b", 4, kernel=3, pad=1), [d])
+    cat = net.add(Concat("cat"), [a2, b1])
+    f = net.add(FullyConnected("fc", 10), [cat])
+    net.add(SoftmaxLoss("softmax"), [f])
+    return net.build()
+
+
+def join_net(batch=2, image=8):
+    """The paper's Fig. 3b join: DATA's tensor is reused by a later layer."""
+    net = Net("join")
+    d = net.add(DataLayer("data", (batch, 4, image, image)))
+    c = net.add(Conv2D("conv", 4, kernel=3, pad=1), [d])
+    r = net.add(ReLU("relu"), [c])
+    j = net.add(Join("join"), [r, d])
+    f = net.add(FullyConnected("fc", 10), [j])
+    net.add(SoftmaxLoss("softmax"), [f])
+    return net.build()
+
+
+class TestNet:
+    def test_linear_default_chaining(self):
+        net = lenet(batch=2, image=12)
+        for layer in net.layers[1:]:
+            assert layer.prev, f"{layer.name} unwired"
+
+    def test_single_data_layer_enforced(self):
+        net = Net("bad")
+        net.add(DataLayer("d1", (1, 1, 4, 4)))
+        net.add(DataLayer("d2", (1, 1, 4, 4)), [])
+        with pytest.raises(ValueError, match="exactly one DataLayer"):
+            net.build()
+
+    def test_add_after_build_rejected(self):
+        net = lenet(batch=1, image=12)
+        with pytest.raises(RuntimeError):
+            net.add(ReLU("late"))
+
+    def test_loss_layer_gets_labels(self):
+        net = lenet(batch=1, image=12)
+        assert net.loss_layer is not None
+        assert net.loss_layer._label_source is net.data_layer
+
+    def test_layer_by_name(self):
+        net = lenet(batch=1, image=12)
+        assert net.layer_by_name("conv1").name == "conv1"
+        with pytest.raises(KeyError):
+            net.layer_by_name("nope")
+
+    def test_alexnet_has_23_paper_layers(self):
+        net = alexnet(batch=1, image=227)
+        assert len(net) == 24  # 23 paper layers + DataLayer
+
+    def test_memory_summaries_positive(self):
+        net = lenet(batch=2, image=12)
+        assert net.total_forward_bytes() > 0
+        assert net.baseline_peak_bytes() > net.total_forward_bytes()
+        assert net.max_layer_bytes() < net.baseline_peak_bytes()
+
+
+class TestRoute:
+    def test_linear_route_is_insertion_order(self):
+        net = lenet(batch=1, image=12)
+        route = ExecutionRoute(net)
+        assert [l.name for l in route.forward_layers] == \
+            [l.name for l in net.layers]
+
+    def test_route_length_2n(self):
+        net = lenet(batch=1, image=12)
+        route = ExecutionRoute(net)
+        assert len(route) == 2 * len(net)
+
+    def test_backward_is_reverse_forward(self):
+        net = fan_net()
+        route = ExecutionRoute(net)
+        n = route.num_layers
+        fwd = [s.layer.name for s in route.steps[:n]]
+        bwd = [s.layer.name for s in route.steps[n:]]
+        assert bwd == fwd[::-1]
+
+    def test_fan_join_waits_for_all_branches(self):
+        net = fan_net()
+        route = ExecutionRoute(net)
+        names = [l.name for l in route.forward_layers]
+        # concat must come after both branches complete
+        assert names.index("cat") > names.index("relu_a")
+        assert names.index("cat") > names.index("conv_b")
+
+    def test_join_reuses_data_tensor(self):
+        net = join_net()
+        route = ExecutionRoute(net)
+        join = net.layer_by_name("join")
+        reads = route.forward_reads(join)
+        assert net.data_layer.output in reads
+
+    def test_nested_fans_resnet(self):
+        net = resnet_from_units((1, 1, 1, 1), batch=1, image=32,
+                                num_classes=4)
+        route = ExecutionRoute(net)
+        assert route.num_layers == len(net)
+        # every join must appear after all of its producers
+        pos = {l.layer_id: i for i, l in enumerate(route.forward_layers)}
+        for l in net.layers:
+            for p in l.prev:
+                assert pos[p.layer_id] < pos[l.layer_id], \
+                    f"{p.name} scheduled after consumer {l.name}"
+
+    def test_bstep_symmetry(self):
+        net = lenet(batch=1, image=12)
+        route = ExecutionRoute(net)
+        n = route.num_layers
+        for l in net.layers:
+            assert route.bstep_of[l.layer_id] == 2 * n - 1 - route.fstep_of[l.layer_id]
+
+    def test_step_phases(self):
+        net = lenet(batch=1, image=12)
+        route = ExecutionRoute(net)
+        n = route.num_layers
+        assert all(s.phase is Phase.FORWARD for s in route.steps[:n])
+        assert all(s.phase is Phase.BACKWARD for s in route.steps[n:])
+
+    def test_backward_reads_respect_flags(self):
+        net = lenet(batch=1, image=12)
+        route = ExecutionRoute(net)
+        relu = net.layer_by_name("relu1")
+        reads = route.backward_reads(relu)
+        assert relu.prev[0].output in reads   # cuDNN reads x ...
+        assert relu.output in reads           # ... and y
+        conv = net.layer_by_name("conv2")
+        reads_c = route.backward_reads(conv)
+        assert conv.prev[0].output in reads_c  # conv needs its input
+        assert conv.output not in reads_c
+
+    def test_disconnected_layer_detected(self):
+        net = Net("disc")
+        net.add(DataLayer("data", (1, 1, 4, 4)))
+        orphan = ReLU("orphan")
+        orphan.layer_id = 1
+        net.layers.append(orphan)
+        orphan.in_shapes = [(1, 1, 4, 4)]
+        with pytest.raises(ValueError):
+            net.build()
+            ExecutionRoute(net)
+
+    def test_deep_net_no_recursion_limit(self):
+        # ~600 layers: would overflow the default recursion limit if the
+        # route construction were recursive like the paper's Alg. 1
+        net = Net("deep")
+        net.add(DataLayer("data", (1, 2, 8, 8)))
+        for i in range(600):
+            net.add(ReLU(f"r{i}"))
+        net.add(SoftmaxLoss("softmax"))
+        net.build()
+        route = ExecutionRoute(net)
+        assert route.num_layers == 602

@@ -1,0 +1,298 @@
+"""Gradient checks: every layer's analytic backward vs central differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layers import (
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dropout,
+    FullyConnected,
+    Join,
+    LRN,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+from repro.layers.base import LayerContext
+from repro.train import grad_check_layer
+
+RNG = np.random.default_rng(42)
+
+
+def _build(layer, in_shapes):
+    """Wire a bare layer with fake predecessors so build() works."""
+    class _Src:
+        def __init__(self, shape):
+            self.out_shape = shape
+            self.next = []
+            self.name = "src"
+            self.output = None
+
+    layer.layer_id = 1
+    layer.prev = [_Src(s) for s in in_shapes]
+    layer.in_shapes = list(in_shapes)
+    layer.out_shape = layer.infer_shape(layer.in_shapes)
+    from repro.tensors.tensor import Tensor, TensorKind
+    layer.output = Tensor(layer.out_shape, TensorKind.DATA,
+                          name=f"{layer.name}:out", producer=1)
+    layer.grad_output = Tensor(layer.out_shape, TensorKind.GRAD,
+                               name=f"{layer.name}:g", producer=1)
+    layer._build_params()
+    return layer
+
+
+def _rand(shape):
+    return RNG.standard_normal(shape).astype(np.float32)
+
+
+class TestConvGrad:
+    def test_basic_3x3(self):
+        l = _build(Conv2D("c", 4, kernel=3, pad=1), [(2, 3, 5, 5)])
+        grad_check_layer(l, [_rand((2, 3, 5, 5))], rtol=4e-3)
+
+    def test_strided_no_pad(self):
+        l = _build(Conv2D("c", 2, kernel=3, stride=2), [(1, 2, 7, 7)])
+        grad_check_layer(l, [_rand((1, 2, 7, 7))], rtol=4e-3)
+
+    def test_1x1(self):
+        l = _build(Conv2D("c", 5, kernel=1), [(2, 3, 4, 4)])
+        grad_check_layer(l, [_rand((2, 3, 4, 4))], rtol=4e-3)
+
+    def test_no_bias(self):
+        l = _build(Conv2D("c", 3, kernel=3, pad=1, bias=False), [(1, 2, 4, 4)])
+        grad_check_layer(l, [_rand((1, 2, 4, 4))], rtol=4e-3)
+
+    def test_kernel_equals_input(self):
+        l = _build(Conv2D("c", 4, kernel=4), [(2, 2, 4, 4)])
+        grad_check_layer(l, [_rand((2, 2, 4, 4))], rtol=2e-2)
+
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(1, 2),
+           st.integers(0, 1))
+    @settings(max_examples=12, deadline=None)
+    def test_property_shapes(self, cin, cout, stride, pad):
+        h = 6
+        l = _build(Conv2D("c", cout, kernel=3, stride=stride, pad=pad),
+                   [(1, cin, h, h)])
+        grad_check_layer(l, [_rand((1, cin, h, h))], rtol=2e-2)
+
+
+class TestPoolGrad:
+    def test_max_pool(self):
+        l = _build(Pool2D("p", kernel=2, stride=2), [(2, 3, 6, 6)])
+        grad_check_layer(l, [_rand((2, 3, 6, 6))], rtol=4e-3)
+
+    def test_max_pool_ceil_window(self):
+        # 7x7 with k=3 s=2 -> ceil gives 4x4 with a partial window
+        l = _build(Pool2D("p", kernel=3, stride=2), [(1, 2, 7, 7)])
+        grad_check_layer(l, [_rand((1, 2, 7, 7))], rtol=4e-3)
+
+    def test_avg_pool(self):
+        l = _build(Pool2D("p", kernel=2, stride=2, mode="avg"), [(2, 2, 4, 4)])
+        grad_check_layer(l, [_rand((2, 2, 4, 4))], rtol=2e-2)
+
+    def test_max_pool_padded(self):
+        l = _build(Pool2D("p", kernel=3, stride=2, pad=1), [(1, 2, 6, 6)])
+        grad_check_layer(l, [_rand((1, 2, 6, 6))], rtol=4e-3)
+
+
+class TestActFCGrad:
+    def test_relu(self):
+        l = _build(ReLU("r"), [(2, 3, 4, 4)])
+        # shift away from 0 to avoid kink issues in numerical gradient
+        x = _rand((2, 3, 4, 4))
+        x[np.abs(x) < 0.05] += 0.2
+        grad_check_layer(l, [x], rtol=4e-3)
+
+    def test_fc(self):
+        l = _build(FullyConnected("f", 7), [(3, 4, 2, 2)])
+        grad_check_layer(l, [_rand((3, 4, 2, 2))], rtol=2e-2)
+
+    def test_fc_no_bias(self):
+        l = _build(FullyConnected("f", 3, bias=False), [(2, 5, 1, 1)])
+        grad_check_layer(l, [_rand((2, 5, 1, 1))], rtol=4e-3)
+
+
+class TestNormGrad:
+    def test_lrn(self):
+        l = _build(LRN("n", size=5), [(2, 8, 3, 3)])
+        grad_check_layer(l, [_rand((2, 8, 3, 3))], rtol=5e-3)
+
+    def test_lrn_small_channels(self):
+        l = _build(LRN("n", size=3), [(1, 2, 4, 4)])
+        grad_check_layer(l, [_rand((1, 2, 4, 4))], rtol=5e-3)
+
+    def test_bn(self):
+        l = _build(BatchNorm("b"), [(4, 3, 3, 3)])
+        grad_check_layer(l, [_rand((4, 3, 3, 3))], rtol=2e-2, eps=1e-2)
+
+    def test_bn_rejects_nothing_small(self):
+        l = _build(BatchNorm("b"), [(2, 1, 2, 2)])
+        grad_check_layer(l, [_rand((2, 1, 2, 2))], rtol=8e-3, eps=1e-3)
+
+
+class TestDropoutGrad:
+    def test_mask_replay_deterministic(self):
+        l = _build(Dropout("d", 0.5), [(2, 3, 4, 4)])
+        ctx = LayerContext(iteration=7)
+        x = _rand((2, 3, 4, 4))
+        y1 = l.forward([x], ctx)
+        y2 = l.forward([x], ctx)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_mask_changes_with_iteration(self):
+        l = _build(Dropout("d", 0.5), [(2, 3, 8, 8)])
+        x = np.ones((2, 3, 8, 8), dtype=np.float32)
+        y1 = l.forward([x], LayerContext(iteration=1))
+        y2 = l.forward([x], LayerContext(iteration=2))
+        assert not np.array_equal(y1, y2)
+
+    def test_grad_matches_mask(self):
+        l = _build(Dropout("d", 0.3), [(2, 2, 3, 3)])
+        ctx = LayerContext(iteration=3)
+        grad_check_layer(l, [_rand((2, 2, 3, 3))], ctx=ctx, rtol=4e-3)
+
+    def test_eval_mode_identity(self):
+        l = _build(Dropout("d", 0.5), [(1, 1, 2, 2)])
+        x = _rand((1, 1, 2, 2))
+        y = l.forward([x], LayerContext(training=False))
+        np.testing.assert_array_equal(x, y)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout("d", 1.0)
+
+
+class TestJoinConcatGrad:
+    def test_join_two(self):
+        l = _build(Join("j"), [(2, 3, 4, 4), (2, 3, 4, 4)])
+        grad_check_layer(l, [_rand((2, 3, 4, 4)), _rand((2, 3, 4, 4))])
+
+    def test_join_three(self):
+        shapes = [(1, 2, 3, 3)] * 3
+        l = _build(Join("j"), shapes)
+        grad_check_layer(l, [_rand(s) for s in shapes])
+
+    def test_join_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            _build(Join("j"), [(1, 2, 3, 3), (1, 3, 3, 3)])
+
+    def test_concat(self):
+        l = _build(Concat("c"), [(2, 3, 4, 4), (2, 5, 4, 4)])
+        grad_check_layer(l, [_rand((2, 3, 4, 4)), _rand((2, 5, 4, 4))])
+
+    def test_concat_spatial_mismatch(self):
+        with pytest.raises(ValueError):
+            _build(Concat("c"), [(1, 2, 3, 3), (1, 2, 4, 4)])
+
+
+class TestSoftmax:
+    def test_probs_sum_to_one(self):
+        l = _build(SoftmaxLoss("s"), [(4, 10, 1, 1)])
+        out = l.forward([_rand((4, 10, 1, 1))], LayerContext())
+        np.testing.assert_allclose(out.reshape(4, -1).sum(axis=1), 1.0,
+                                   rtol=1e-5)
+
+    def test_loss_against_labels(self):
+        class FakeData:
+            current_labels = np.array([0, 1])
+
+        l = _build(SoftmaxLoss("s"), [(2, 3, 1, 1)])
+        l.set_label_source(FakeData())
+        logits = np.array([[5.0, 0, 0], [0, 5.0, 0]],
+                          dtype=np.float32).reshape(2, 3, 1, 1)
+        l.forward([logits], LayerContext())
+        assert l.last_loss < 0.05  # nearly certain correct predictions
+
+    def test_gradient_is_probs_minus_onehot(self):
+        class FakeData:
+            current_labels = np.array([2, 0])
+
+        l = _build(SoftmaxLoss("s"), [(2, 3, 1, 1)])
+        l.set_label_source(FakeData())
+        x = _rand((2, 3, 1, 1))
+        out = l.forward([x], LayerContext())
+        (dx,), _ = l.backward([x], out, None, LayerContext())
+        probs = out.reshape(2, 3)
+        expect = probs.copy()
+        expect[0, 2] -= 1
+        expect[1, 0] -= 1
+        expect /= 2
+        np.testing.assert_allclose(dx.reshape(2, 3), expect, rtol=1e-5)
+
+    def test_loss_decreases_on_gradient_step(self):
+        class FakeData:
+            current_labels = np.array([1])
+
+        l = _build(SoftmaxLoss("s"), [(1, 4, 1, 1)])
+        l.set_label_source(FakeData())
+        x = _rand((1, 4, 1, 1))
+        out = l.forward([x], LayerContext())
+        loss0 = l.last_loss
+        (dx,), _ = l.backward([x], out, None, LayerContext())
+        l.forward([x - 5.0 * dx], LayerContext())
+        assert l.last_loss < loss0
+
+
+class TestFlops:
+    def test_conv_flops_formula(self):
+        l = _build(Conv2D("c", 8, kernel=3, pad=1), [(2, 4, 8, 8)])
+        assert l.flops_forward() == 2 * 2 * 8 * 4 * 9 * 8 * 8
+
+    def test_fc_flops(self):
+        l = _build(FullyConnected("f", 10), [(4, 6, 2, 2)])
+        assert l.flops_forward() == 2 * 4 * 24 * 10
+
+    def test_memory_bound_layers_report_bytes(self):
+        l = _build(ReLU("r"), [(2, 3, 4, 4)])
+        assert l.bytes_touched_forward() == 2 * (2 * 3 * 4 * 4 * 4)
+
+
+class TestRectangularConv:
+    """Rectangular kernels (Inception v4's factorized 1x7/7x1 convs)."""
+
+    def test_1x5_grad(self):
+        l = _build(Conv2D("c", 3, kernel=(1, 5), pad=(0, 2)), [(1, 2, 4, 8)])
+        grad_check_layer(l, [_rand((1, 2, 4, 8))], rtol=2e-2)
+
+    def test_5x1_grad(self):
+        l = _build(Conv2D("c", 3, kernel=(5, 1), pad=(2, 0)), [(1, 2, 8, 4)])
+        grad_check_layer(l, [_rand((1, 2, 8, 4))], rtol=2e-2)
+
+    def test_shape_preserving_factorized_pair(self):
+        a = _build(Conv2D("a", 4, kernel=(1, 7), pad=(0, 3)), [(1, 3, 9, 9)])
+        assert a.out_shape == (1, 4, 9, 9)
+        b = _build(Conv2D("b", 4, kernel=(7, 1), pad=(3, 0)), [(1, 3, 9, 9)])
+        assert b.out_shape == (1, 4, 9, 9)
+
+    def test_factorized_equals_full_for_separable_kernel(self):
+        """A (1,k) then (k,1) conv with rank-1 weights equals one kxk
+        conv with the outer-product kernel."""
+        x = _rand((1, 1, 6, 6))
+        row = _build(Conv2D("r", 1, kernel=(1, 3), pad=(0, 1), bias=False),
+                     [(1, 1, 6, 6)])
+        col = _build(Conv2D("co", 1, kernel=(3, 1), pad=(1, 0), bias=False),
+                     [(1, 1, 6, 6)])
+        full = _build(Conv2D("f", 1, kernel=3, pad=1, bias=False),
+                      [(1, 1, 6, 6)])
+        rv = np.array([1.0, 2.0, -1.0], dtype=np.float32)
+        cv = np.array([0.5, -1.0, 3.0], dtype=np.float32)
+        row.param_values[row.params[0].tensor_id] = rv.reshape(1, 1, 1, 3)
+        col.param_values[col.params[0].tensor_id] = cv.reshape(1, 1, 3, 1)
+        full.param_values[full.params[0].tensor_id] = \
+            np.outer(cv, rv).reshape(1, 1, 3, 3)
+        from repro.layers.base import LayerContext
+        ctx = LayerContext()
+        y_sep = col.forward([row.forward([x], ctx)], ctx)
+        y_full = full.forward([x], ctx)
+        # interior pixels agree exactly; borders differ because the
+        # separable pipeline pads between stages
+        np.testing.assert_allclose(y_sep[..., 1:-1, 1:-1],
+                                   y_full[..., 1:-1, 1:-1], rtol=1e-4)
+
+    def test_flops_use_both_dims(self):
+        l = _build(Conv2D("c", 2, kernel=(1, 7), pad=(0, 3)), [(1, 2, 8, 8)])
+        assert l.flops_forward() == 2 * 1 * 2 * 2 * 7 * 8 * 8

@@ -1,0 +1,164 @@
+"""Property-based tests on randomly generated networks.
+
+The central invariant of the whole system: for ANY network topology and
+ANY optimization configuration, training is numerically identical to the
+unoptimized baseline.  Hypothesis builds random fan/join networks and
+random configs; the executor must agree with itself everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Executor, RuntimeConfig, SGD
+from repro.core.config import RecomputeStrategy, WorkspacePolicy
+from repro.core.liveness import LivenessAnalysis
+from repro.graph import ExecutionRoute, Net
+from repro.layers import (
+    BatchNorm,
+    Concat,
+    Conv2D,
+    DataLayer,
+    Dropout,
+    FullyConnected,
+    Join,
+    LRN,
+    Pool2D,
+    ReLU,
+    SoftmaxLoss,
+)
+
+# -- random net construction -------------------------------------------------
+
+BLOCKS = ["conv", "conv_relu", "conv_bn_relu", "pool", "lrn", "dropout",
+          "residual", "fan"]
+
+
+def build_net(block_ids, seed: int, batch: int = 2) -> Net:
+    """Deterministically grow a small net from a block id list."""
+    net = Net(f"rand{seed}")
+    x = net.add(DataLayer("data", (batch, 3, 16, 16), num_classes=4))
+    idx = 0
+    for b in block_ids:
+        kind = BLOCKS[b % len(BLOCKS)]
+        idx += 1
+        ch = x.out_shape[1]
+        hw = x.out_shape[2]
+        if kind == "conv":
+            x = net.add(Conv2D(f"c{idx}", min(ch + 2, 12), 3, pad=1), [x])
+        elif kind == "conv_relu":
+            x = net.add(Conv2D(f"c{idx}", min(ch + 2, 12), 3, pad=1), [x])
+            x = net.add(ReLU(f"r{idx}"), [x])
+        elif kind == "conv_bn_relu":
+            x = net.add(Conv2D(f"c{idx}", min(ch + 2, 12), 3, pad=1,
+                               bias=False), [x])
+            x = net.add(BatchNorm(f"b{idx}"), [x])
+            x = net.add(ReLU(f"r{idx}"), [x])
+        elif kind == "pool" and hw >= 4:
+            x = net.add(Pool2D(f"p{idx}", 2, 2), [x])
+        elif kind == "lrn" and ch >= 3:
+            x = net.add(LRN(f"n{idx}", size=3), [x])
+        elif kind == "dropout":
+            x = net.add(Dropout(f"d{idx}", 0.3), [x])
+        elif kind == "residual":
+            y = net.add(Conv2D(f"c{idx}a", ch, 3, pad=1), [x])
+            y = net.add(ReLU(f"r{idx}a"), [y])
+            y = net.add(Conv2D(f"c{idx}b", ch, 3, pad=1), [y])
+            x = net.add(Join(f"j{idx}"), [y, x])
+        elif kind == "fan":
+            a = net.add(Conv2D(f"c{idx}a", 4, 1), [x])
+            b = net.add(Conv2D(f"c{idx}b", 4, 3, pad=1), [x])
+            x = net.add(Concat(f"cat{idx}"), [a, b])
+    x = net.add(FullyConnected("fc", 4), [x])
+    net.add(SoftmaxLoss("softmax"), [x])
+    return net.build()
+
+
+def train_losses(block_ids, seed, config, iters=2):
+    net = build_net(block_ids, seed)
+    ex = Executor(net, config)
+    opt = SGD(lr=0.05)
+    losses = [ex.run_iteration(i, optimizer=opt).loss for i in range(iters)]
+    ex.close()
+    return losses
+
+
+CONFIG_FACTORIES = [
+    lambda: RuntimeConfig.liveness_only(),
+    lambda: RuntimeConfig.liveness_offload(),
+    lambda: RuntimeConfig.liveness_offload(use_tensor_cache=True),
+    lambda: RuntimeConfig.liveness_only(
+        recompute=RecomputeStrategy.SPEED_CENTRIC),
+    lambda: RuntimeConfig.liveness_only(
+        recompute=RecomputeStrategy.MEMORY_CENTRIC),
+    lambda: RuntimeConfig.superneurons(),
+    lambda: RuntimeConfig.superneurons(use_tensor_cache=False),
+]
+
+
+class TestRandomNetEquivalence:
+    @given(
+        blocks=st.lists(st.integers(0, len(BLOCKS) - 1), min_size=1,
+                        max_size=6),
+        cfg_idx=st.integers(0, len(CONFIG_FACTORIES) - 1),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_config_matches_baseline(self, blocks, cfg_idx, seed):
+        ref = train_losses(blocks, seed, RuntimeConfig.baseline())
+        got = train_losses(blocks, seed, CONFIG_FACTORIES[cfg_idx]())
+        assert got == ref
+
+    @given(
+        blocks=st.lists(st.integers(0, len(BLOCKS) - 1), min_size=1,
+                        max_size=6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_superneurons_peak_never_higher_than_baseline(self, blocks, seed):
+        def peak(config):
+            net = build_net(blocks, seed)
+            ex = Executor(net, config)
+            p = ex.run_iteration(0).activation_peak_bytes
+            ex.close()
+            return p
+
+        base = peak(RuntimeConfig.baseline(
+            workspace_policy=WorkspacePolicy.NONE))
+        sn = peak(RuntimeConfig.superneurons(
+            use_tensor_cache=False, workspace_policy=WorkspacePolicy.NONE))
+        assert sn <= base
+
+
+class TestRandomNetLiveness:
+    @given(
+        blocks=st.lists(st.integers(0, len(BLOCKS) - 1), min_size=1,
+                        max_size=8),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_in_out_set_invariants(self, blocks, seed):
+        net = build_net(blocks, seed)
+        route = ExecutionRoute(net)
+        la = LivenessAnalysis(route, RuntimeConfig.liveness_only())
+        sets = la.in_out_sets()
+        # out ⊆ in at every step; the final out set is empty; the live
+        # set shrinks exactly at last-use steps
+        for s in sets:
+            assert s["out"] <= s["in"]
+        assert sets[-1]["out"] == set()
+
+    @given(
+        blocks=st.lists(st.integers(0, len(BLOCKS) - 1), min_size=1,
+                        max_size=8),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_route_is_topological(self, blocks, seed):
+        net = build_net(blocks, seed)
+        route = ExecutionRoute(net)
+        pos = {l.layer_id: i for i, l in enumerate(route.forward_layers)}
+        for l in net.layers:
+            for p in l.prev:
+                assert pos[p.layer_id] < pos[l.layer_id]

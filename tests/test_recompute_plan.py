@@ -1,0 +1,126 @@
+"""Tests for recomputation segment planning (paper §3.4, Table 1)."""
+
+import pytest
+
+from repro.core.config import RecomputeStrategy
+from repro.core.recompute import plan_segments
+from repro.graph.route import ExecutionRoute
+from repro.zoo import alexnet, lenet, resnet_from_units, densenet
+from tests.test_graph import fan_net, join_net
+
+
+def _plan(net, strategy=RecomputeStrategy.COST_AWARE, l_peak=None):
+    return plan_segments(ExecutionRoute(net), strategy, l_peak)
+
+
+class TestSegmentation:
+    def test_none_strategy_empty_plan(self):
+        plan = _plan(lenet(batch=1, image=12), RecomputeStrategy.NONE)
+        assert not plan.segments
+        assert not plan.enabled
+
+    def test_lenet_segments(self):
+        # lenet: conv1|relu1,pool1|conv2|relu2,pool2|fc1|relu3|fc2|relu4|fc3
+        plan = _plan(lenet(batch=1, image=12),
+                     RecomputeStrategy.SPEED_CENTRIC)
+        assert [s.size for s in plan.segments] == [2, 2, 1, 1]
+
+    def test_anchor_is_preceding_checkpoint(self):
+        net = lenet(batch=1, image=12)
+        plan = _plan(net, RecomputeStrategy.SPEED_CENTRIC)
+        seg1 = plan.segments[0]
+        assert seg1.anchor.name == "conv1"
+        assert [m.name for m in seg1.members] == ["relu1", "pool1"]
+
+    def test_alexnet_paper_segments(self):
+        plan = _plan(alexnet(batch=2, image=67, num_classes=10),
+                     RecomputeStrategy.SPEED_CENTRIC)
+        assert [s.size for s in plan.segments] == [3, 3, 1, 1, 2, 2, 2]
+
+    def test_every_dropped_member_maps_to_its_segment(self):
+        net = resnet_from_units((1, 1, 1, 1), batch=1, image=32,
+                                num_classes=4)
+        plan = _plan(net, RecomputeStrategy.SPEED_CENTRIC)
+        for seg in plan.segments:
+            for m in seg.dropped:
+                assert plan.segment_of[m.layer_id] is seg
+                assert m.layer_id in plan.dropped_layers
+
+
+class TestShortcutPinning:
+    def test_resnet_shortcut_sources_kept(self):
+        """Identity-shortcut sources must not be dropped, or chains
+        cascade through every preceding block."""
+        net = resnet_from_units((2, 1, 1, 1), batch=1, image=32,
+                                num_classes=4)
+        plan = _plan(net, RecomputeStrategy.SPEED_CENTRIC)
+        # block s1u1 has an identity shortcut from s1u0_out
+        out_relu = net.layer_by_name("s1u0_out")
+        assert out_relu.layer_id not in plan.dropped_layers
+
+    def test_linear_nets_drop_everything(self):
+        net = alexnet(batch=2, image=67, num_classes=10)
+        plan = _plan(net, RecomputeStrategy.SPEED_CENTRIC)
+        dropped = sum(s.size for s in plan.segments)
+        members = sum(len(s.members) for s in plan.segments)
+        assert dropped == members == 14
+
+    def test_densenet_concat_chain_bounded(self):
+        """DenseNet's full-join must not produce unbounded chains."""
+        net = densenet(batch=1, image=32, num_classes=4, growth=4,
+                       blocks=(2, 2))
+        plan = _plan(net, RecomputeStrategy.SPEED_CENTRIC)
+        # every dropped member's inputs must be live-kept, checkpoints,
+        # or members of the same segment (the boundedness invariant)
+        for seg in plan.segments:
+            allowed = {m.layer_id for m in seg.members}
+            for m in seg.dropped:
+                for p in m.prev:
+                    ok = (p.is_checkpoint
+                          or p.layer_id in allowed
+                          or p.layer_id not in plan.dropped_layers)
+                    assert ok, f"{m.name} input {p.name} breaks boundedness"
+
+
+class TestCostAware:
+    def test_small_lpeak_forces_memory_centric(self):
+        net = alexnet(batch=2, image=67, num_classes=10)
+        plan = _plan(net, RecomputeStrategy.COST_AWARE, l_peak=1)
+        assert all(s.strategy is RecomputeStrategy.MEMORY_CENTRIC
+                   for s in plan.segments)
+
+    def test_huge_lpeak_allows_speed_centric(self):
+        net = alexnet(batch=2, image=67, num_classes=10)
+        plan = _plan(net, RecomputeStrategy.COST_AWARE, l_peak=1 << 60)
+        assert all(s.strategy is RecomputeStrategy.SPEED_CENTRIC
+                   for s in plan.segments)
+
+    def test_extras_between_speed_and_memory(self):
+        net = alexnet(batch=2, image=67, num_classes=10)
+        sp = _plan(net, RecomputeStrategy.SPEED_CENTRIC)
+        me = _plan(net, RecomputeStrategy.MEMORY_CENTRIC)
+        ca = _plan(net, RecomputeStrategy.COST_AWARE)
+        assert sp.total_extra_forwards() <= ca.total_extra_forwards() \
+            <= me.total_extra_forwards()
+
+    def test_peak_m_prediction(self):
+        net = alexnet(batch=2, image=67, num_classes=10)
+        sp = _plan(net, RecomputeStrategy.SPEED_CENTRIC)
+        me = _plan(net, RecomputeStrategy.MEMORY_CENTRIC)
+        assert me.peak_m() == me.l_peak
+        assert sp.peak_m() >= me.peak_m()
+
+
+class TestNonlinearTopologies:
+    def test_fan_net_segments(self):
+        plan = _plan(fan_net(), RecomputeStrategy.SPEED_CENTRIC)
+        # relu_a is consumed by concat (outside its segment) -> kept;
+        # concat feeds fc (a checkpoint) -> droppable
+        names_dropped = {net_l.name for s in plan.segments
+                         for net_l in s.dropped}
+        assert "cat" in names_dropped or len(plan.segments) >= 1
+
+    def test_join_net_data_reuse(self):
+        plan = _plan(join_net(), RecomputeStrategy.SPEED_CENTRIC)
+        for seg in plan.segments:
+            assert seg.anchor.is_checkpoint

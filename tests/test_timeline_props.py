@@ -1,0 +1,117 @@
+"""Property tests for the discrete-event timeline and the heap pool."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import DeviceModel, Stream, Timeline
+from repro.device.dma import CopyDirection, DMAEngine
+from repro.mempool.heap_pool import BLOCK, HeapPool, PoolExhaustedError
+
+KB = 1024
+
+
+class TestTimelineProperties:
+    @given(st.lists(st.tuples(st.sampled_from(list(Stream)),
+                              st.floats(0.0, 1.0)), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_busy_never_exceeds_elapsed(self, ops):
+        tl = Timeline()
+        for stream, dur in ops:
+            tl.submit(stream, dur)
+        for s in Stream:
+            assert tl.busy_time(s) <= tl.elapsed + 1e-12
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_single_stream_is_sum(self, durs):
+        tl = Timeline()
+        for d in durs:
+            tl.submit(Stream.COMPUTE, d)
+        assert tl.now(Stream.COMPUTE) <= sum(durs) + 1e-9
+        assert tl.now(Stream.COMPUTE) >= sum(durs) - 1e-9
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_dependencies_are_monotone(self, durs):
+        """Each op depending on the previous event ends no earlier."""
+        tl = Timeline()
+        ev = None
+        last = 0.0
+        for i, d in enumerate(durs):
+            stream = list(Stream)[i % 3]
+            ev = tl.submit(stream, d, after=[ev] if ev else None)
+            assert ev.time >= last - 1e-12
+            last = ev.time
+
+    @given(st.floats(0.0, 5.0), st.floats(0.0, 5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_not_before_respected(self, t_issue, dur):
+        tl = Timeline()
+        ev = tl.submit(Stream.D2H, dur, not_before=t_issue)
+        assert ev.time >= t_issue + dur - 1e-12
+
+    def test_ops_recorded_per_stream(self):
+        tl = Timeline()
+        tl.submit(Stream.COMPUTE, 1.0, "a")
+        tl.submit(Stream.D2H, 2.0, "b")
+        assert len(tl.ops(Stream.COMPUTE)) == 1
+        assert len(tl.ops()) == 2
+
+
+class TestDMAProperties:
+    @given(st.integers(1, 1 << 30))
+    @settings(max_examples=50, deadline=None)
+    def test_copy_time_positive_and_monotone(self, nbytes):
+        tl = Timeline()
+        dma = DMAEngine(tl, DeviceModel())
+        t1 = dma.copy_time(nbytes, CopyDirection.H2D)
+        t2 = dma.copy_time(nbytes * 2, CopyDirection.H2D)
+        assert 0 < t1 < t2
+
+    @given(st.integers(1, 1 << 28), st.floats(0.1, 4.0))
+    @settings(max_examples=50, deadline=None)
+    def test_rate_scale_inverse(self, nbytes, scale):
+        tl = Timeline()
+        dma = DMAEngine(tl, DeviceModel())
+        base = dma.copy_time(nbytes, CopyDirection.D2H) - 10e-6
+        scaled = dma.copy_time(nbytes, CopyDirection.D2H, scale) - 10e-6
+        assert scaled * scale == __import__("pytest").approx(base, rel=1e-9)
+
+
+class TestHeapPoolProperties:
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_live_allocations_never_overlap(self, sizes_kb):
+        pool = HeapPool(512 * KB)
+        live = {}
+        for kb in sizes_kb:
+            try:
+                h = pool.alloc(kb * KB)
+            except PoolExhaustedError:
+                continue
+            live[h] = (pool.addr_of(h), pool.size_of(h))
+        spans = sorted(live.values())
+        for (a1, s1), (a2, _s2) in zip(spans, spans[1:]):
+            assert a1 + s1 <= a2, "overlapping allocations"
+
+    @given(st.lists(st.integers(1, 32), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_free_everything_restores_capacity(self, sizes_kb):
+        pool = HeapPool(512 * KB)
+        handles = []
+        for kb in sizes_kb:
+            try:
+                handles.append(pool.alloc(kb * KB))
+            except PoolExhaustedError:
+                break
+        for h in handles:
+            pool.free(h)
+        assert pool.free_bytes == pool.total_blocks * BLOCK
+        assert pool.largest_free_bytes == pool.free_bytes
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_block_rounding_invariant(self, nbytes):
+        assert HeapPool.blocks_for(nbytes) * BLOCK >= nbytes
+        assert (HeapPool.blocks_for(nbytes) - 1) * BLOCK < nbytes or \
+            HeapPool.blocks_for(nbytes) == 1

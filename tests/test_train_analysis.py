@@ -1,0 +1,138 @@
+"""Tests for the trainer, zoo topologies, and analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro import RuntimeConfig, SGD, Trainer
+from repro.analysis import (
+    format_table,
+    memory_breakdown_by_type,
+    series_to_text,
+    time_breakdown_by_type,
+)
+from repro.core.config import WorkspacePolicy
+from repro.layers.base import LayerType
+from repro.zoo import (
+    alexnet,
+    densenet,
+    inception_v4,
+    lenet,
+    resnet50,
+    resnet_from_units,
+    vgg16,
+    vgg19,
+)
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        tr = Trainer(lenet(batch=16, image=16), RuntimeConfig.superneurons(),
+                     SGD(lr=0.1))
+        stats = tr.train(12)
+        tr.close()
+        assert len(stats.losses) == 12
+        assert stats.final_loss < stats.losses[0]
+
+    def test_momentum_changes_trajectory(self):
+        a = Trainer(lenet(batch=8, image=12), RuntimeConfig.baseline(),
+                    SGD(lr=0.05))
+        b = Trainer(lenet(batch=8, image=12), RuntimeConfig.baseline(),
+                    SGD(lr=0.05, momentum=0.9))
+        la, lb = a.train(4).losses, b.train(4).losses
+        a.close(), b.close()
+        assert la[0] == lb[0]       # first forward identical
+        assert la[1:] != lb[1:]     # updates differ
+
+    def test_weight_decay_shrinks_weights(self):
+        opt = SGD(lr=0.1, weight_decay=0.5)
+        v = np.ones(4, dtype=np.float32)
+        g = np.zeros(4, dtype=np.float32)
+        out = opt.step_param(0, v, g)
+        assert np.all(out < v)
+
+    def test_resume_iteration_counter(self):
+        """Same data/dropout seeds when resuming at the right iteration."""
+        t1 = Trainer(lenet(batch=4, image=12), RuntimeConfig.baseline(),
+                     SGD(lr=0.05))
+        all_losses = t1.train(4).losses
+        t1.close()
+        t2 = Trainer(lenet(batch=4, image=12), RuntimeConfig.baseline(),
+                     SGD(lr=0.05))
+        first = t2.train(2).losses
+        rest = t2.train(2, start_iteration=2).losses
+        t2.close()
+        assert first + rest == all_losses
+
+
+class TestZooTopologies:
+    @pytest.mark.parametrize("builder,kw", [
+        (alexnet, dict(batch=1, image=227)),
+        (vgg16, dict(batch=1, image=224)),
+        (vgg19, dict(batch=1, image=224)),
+        (resnet50, dict(batch=1, image=224)),
+        (inception_v4, dict(batch=1, image=299)),
+        (densenet, dict(batch=1, image=224, growth=8, blocks=(2, 2, 2))),
+        (lenet, dict(batch=1, image=28)),
+    ])
+    def test_builds_and_routes(self, builder, kw):
+        from repro.graph.route import ExecutionRoute
+        net = builder(**kw)
+        route = ExecutionRoute(net)
+        assert route.num_layers == len(net)
+        # terminal layer must be the softmax loss
+        assert route.forward_layers[-1].ltype is LayerType.SOFTMAX
+
+    def test_resnet_depth_formula(self):
+        # paper: depth = 3*(n1+n2+n3+n4)+2
+        net = resnet50(batch=1)
+        convs = [l for l in net.layers if l.ltype is LayerType.CONV]
+        # 16 bottlenecks x 3 convs + 4 projections + stem conv = 53
+        assert len(convs) == 3 * 16 + 4 + 1
+
+    def test_vgg19_has_16_convs(self):
+        net = vgg19(batch=1, image=224)
+        convs = [l for l in net.layers if l.ltype is LayerType.CONV]
+        assert len(convs) == 16
+
+    def test_densenet_channel_growth(self):
+        net = densenet(batch=1, image=64, growth=8, blocks=(3,),
+                       num_classes=4)
+        # after a block of 3 layers: stem 16 + 3*8 = 40 channels
+        last_cat = [l for l in net.layers if l.ltype is LayerType.CONCAT][-1]
+        assert last_cat.out_shape[1] == 16 + 3 * 8
+
+    def test_inception_fan_width(self):
+        net = inception_v4(batch=1, image=299, blocks=(1, 1, 1))
+        cats = [l for l in net.layers if l.ltype is LayerType.CONCAT]
+        assert any(len(c.prev) >= 4 for c in cats)  # 4-branch fans exist
+
+    def test_alexnet_shapes_match_paper(self):
+        net = alexnet(batch=200, image=227)
+        assert net.layer_by_name("conv1").out_shape == (200, 96, 55, 55)
+        assert net.layer_by_name("pool1").out_shape == (200, 96, 27, 27)
+        assert net.layer_by_name("conv2").out_shape == (200, 256, 27, 27)
+        assert net.layer_by_name("pool5").out_shape == (200, 256, 6, 6)
+        assert net.layer_by_name("fc1").out_shape == (200, 4096, 1, 1)
+
+
+class TestAnalysis:
+    def test_breakdowns_sum_to_100(self):
+        net = alexnet(batch=2, image=67, num_classes=10)
+        for d in (time_breakdown_by_type(net), memory_breakdown_by_type(net)):
+            assert sum(d.values()) == pytest.approx(100.0)
+
+    def test_conv_dominates_time(self):
+        net = vgg16(batch=2, image=64, num_classes=10)
+        t = time_breakdown_by_type(net)
+        assert t["CONV"] > 50.0
+
+    def test_format_table_aligns(self):
+        txt = format_table("t", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = txt.splitlines()
+        assert lines[0] == "== t =="
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_series_to_text_handles_missing(self):
+        txt = series_to_text("s", [1, 2], {"a": [10], "b": [20, 30]})
+        assert "-" in txt  # missing point rendered as '-'

@@ -1,0 +1,96 @@
+"""Tests for conv algorithm tables and the dynamic workspace selector."""
+
+import pytest
+
+from repro.core.config import WorkspacePolicy
+from repro.core.workspace import WorkspaceSelector
+from repro.device.model import K40_MODEL
+from repro.layers.conv import Conv2D, conv_algorithms
+from tests.test_layers_grad import _build
+
+
+def _conv(kernel=3, stride=1, pad=1, cin=16, cout=32, hw=32, batch=8):
+    return _build(Conv2D("c", cout, kernel=kernel, stride=stride, pad=pad),
+                  [(batch, cin, hw, hw)])
+
+
+class TestAlgorithmTable:
+    def test_implicit_gemm_always_available(self):
+        for kernel, stride in ((1, 1), (3, 1), (5, 2), (7, 2), (11, 4)):
+            pad = kernel // 2
+            l = _conv(kernel=kernel, stride=stride, pad=pad, hw=64)
+            algos = l.algorithms(K40_MODEL)
+            names = [a.name for a in algos]
+            assert "implicit_gemm" in names
+            assert algos[0].workspace_bytes == 0
+
+    def test_winograd_only_3x3_stride1(self):
+        assert "winograd" in [a.name for a in _conv(3, 1).algorithms(K40_MODEL)]
+        assert "winograd" not in [a.name for a in
+                                  _conv(5, 1, 2).algorithms(K40_MODEL)]
+        assert "winograd" not in [a.name for a in
+                                  _conv(3, 2).algorithms(K40_MODEL)]
+
+    def test_fft_needs_stride1(self):
+        assert "fft" in [a.name for a in _conv(5, 1, 2).algorithms(K40_MODEL)]
+        assert "fft" not in [a.name for a in
+                             _conv(5, 2, 2, hw=33).algorithms(K40_MODEL)]
+
+    def test_faster_algos_need_workspace(self):
+        l = _conv()
+        base = l.algorithms(K40_MODEL)[0]
+        for a in l.algorithms(K40_MODEL)[1:]:
+            assert a.speed > base.speed
+            assert a.workspace_bytes > 0
+
+    def test_workspace_scales_with_batch(self):
+        small = _conv(batch=2).algorithms(K40_MODEL)
+        big = _conv(batch=16).algorithms(K40_MODEL)
+        gemm_s = next(a for a in small if a.name == "gemm")
+        gemm_b = next(a for a in big if a.name == "gemm")
+        assert gemm_b.workspace_bytes == 8 * gemm_s.workspace_bytes
+
+    def test_best_algo_within_budget(self):
+        l = _conv()
+        unlimited = l.best_algo_within(1 << 60, K40_MODEL)
+        assert unlimited.name == l.max_speed_algo(K40_MODEL).name
+        broke = l.best_algo_within(0, K40_MODEL)
+        assert broke.name == "implicit_gemm"
+
+    def test_algo_time_monotone_in_speed(self):
+        l = _conv()
+        flops = l.flops_forward()
+        times = {a.name: a.time(flops, K40_MODEL)
+                 for a in l.algorithms(K40_MODEL)}
+        assert times["winograd"] < times["gemm"] < times["implicit_gemm"]
+
+
+class TestSelector:
+    def test_none_policy_zero_workspace(self):
+        sel = WorkspaceSelector(WorkspacePolicy.NONE, K40_MODEL)
+        ch = sel.select(_conv(), 1 << 40, "forward")
+        assert ch.assigned_ws == 0
+        assert not ch.got_max_speed or ch.max_speed_ws == 0
+
+    def test_max_policy_ignores_budget(self):
+        sel = WorkspaceSelector(WorkspacePolicy.MAX_SPEED, K40_MODEL)
+        ch = sel.select(_conv(), 0, "forward")
+        assert ch.got_max_speed
+
+    def test_dynamic_policy_respects_budget(self):
+        sel = WorkspaceSelector(WorkspacePolicy.DYNAMIC, K40_MODEL)
+        l = _conv()
+        max_ws = l.max_speed_algo(K40_MODEL).workspace_bytes
+        ch = sel.select(l, max_ws - 1, "forward")
+        assert ch.assigned_ws < max_ws
+        ch2 = sel.select(l, max_ws, "forward")
+        assert ch2.got_max_speed
+
+    def test_choices_recorded_in_order(self):
+        sel = WorkspaceSelector(WorkspacePolicy.DYNAMIC, K40_MODEL)
+        l = _conv()
+        sel.select(l, 1 << 40, "forward")
+        sel.select(l, 1 << 40, "backward")
+        assert [c.phase for c in sel.choices] == ["forward", "backward"]
+        sel.reset()
+        assert not sel.choices
