@@ -21,9 +21,11 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from repro.core.config import RuntimeConfig
-from repro.core.runtime import Executor, IterationResult
+from repro.core.runtime import IterationResult
+from repro.core.session import Session
+from repro.device.gpu import OutOfMemoryError
 from repro.frameworks import FRAMEWORKS, framework_config
-from repro.frameworks.probe import max_batch, max_resnet_depth, try_run
+from repro.frameworks.probe import max_batch, max_resnet_depth
 from repro.zoo import (
     alexnet,
     inception_v4,
@@ -61,8 +63,12 @@ def write_result(name: str, text: str) -> None:
 
 
 def sim_run(net, config: RuntimeConfig) -> Optional[IterationResult]:
-    """One simulated iteration (None on OOM)."""
-    return try_run(net, config)
+    """One simulated iteration through the Session API (None on OOM)."""
+    try:
+        with Session(net, config) as sess:
+            return sess.run_iteration(0)
+    except (OutOfMemoryError, MemoryError):
+        return None
 
 
 def img_per_sec(net, res: Optional[IterationResult]) -> Optional[float]:

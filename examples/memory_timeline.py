@@ -12,7 +12,7 @@ Usage::
 import argparse
 
 from repro.core.config import RuntimeConfig, WorkspacePolicy
-from repro.core.runtime import Executor
+from repro.core.session import Session
 from repro.zoo import alexnet
 
 MiB = 1024 * 1024
@@ -26,9 +26,8 @@ def bar(value: float, vmax: float) -> str:
 
 def run(name: str, cfg: RuntimeConfig, batch: int):
     net = alexnet(batch=batch, image=227)
-    ex = Executor(net, cfg)
-    res = ex.run_iteration(0)
-    ex.close()
+    with Session(net, cfg) as sess:
+        res = sess.run_iteration(0)
     return name, net, res
 
 

@@ -2,9 +2,9 @@
 """Quickstart: train a small CNN under the SuperNeurons runtime.
 
 Runs LeNet on synthetic data twice — once with every memory optimization
-disabled (the naive baseline) and once with the full SuperNeurons stack
-(liveness analysis + unified tensor pool with LRU cache + cost-aware
-recomputation + dynamic conv workspaces) — and shows that:
+disabled (the naive baseline) and once with the full SuperNeurons policy
+stack (liveness analysis + unified tensor pool with LRU cache +
+cost-aware recomputation + dynamic conv workspaces) — and shows that:
 
 * the losses are IDENTICAL (the optimizations never change the math);
 * the peak GPU memory drops sharply;
@@ -15,27 +15,25 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro import Executor, RuntimeConfig, SGD
+from repro import SGD, Session
 from repro.zoo import lenet
 
 MiB = 1024 * 1024
 ITERS = 8
 
 
-def train(config: RuntimeConfig, label: str):
-    net = lenet(batch=32, image=28)
-    ex = Executor(net, config)
+def train(session: Session, label: str):
     opt = SGD(lr=0.05)
     losses = []
     peak = 0
     sim_time = 0.0
-    for i in range(ITERS):
-        res = ex.run_iteration(i, optimizer=opt)
-        losses.append(res.loss)
-        peak = max(peak, res.activation_peak_bytes)
-        sim_time += res.sim_time
-    ex.close()
-    print(f"{label:22s} final loss {losses[-1]:.4f}  "
+    with session as sess:
+        for res in sess.run(iters=ITERS, optimizer=opt):
+            losses.append(res.loss)
+            peak = max(peak, res.activation_peak_bytes)
+            sim_time += res.sim_time
+        print(f"{label:22s} [{sess.describe()}]")
+    print(f"{'':22s} final loss {losses[-1]:.4f}  "
           f"activation peak {peak / MiB:6.2f} MiB  "
           f"sim time {sim_time * 1e3:7.2f} ms")
     return losses
@@ -43,8 +41,13 @@ def train(config: RuntimeConfig, label: str):
 
 def main():
     print(f"Training LeNet for {ITERS} iterations on synthetic data\n")
-    base = train(RuntimeConfig.baseline(), "baseline")
-    full = train(RuntimeConfig.superneurons(), "superneurons")
+    base = train(Session(lenet(batch=32, image=28))
+                 .without_policy("liveness"),
+                 "baseline")
+    full = train(Session(lenet(batch=32, image=28))
+                 .with_policy("offload", cache="lru")
+                 .with_policy("recompute", strategy="cost_aware"),
+                 "superneurons")
 
     assert base == full, "optimizations changed the training trajectory!"
     print("\nloss trajectories are bit-identical:",

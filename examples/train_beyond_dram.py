@@ -10,7 +10,7 @@ Usage::
     python examples/train_beyond_dram.py
 """
 
-from repro import Executor, RuntimeConfig, SGD
+from repro import Executor, RuntimeConfig, SGD, Session
 from repro.core.config import WorkspacePolicy
 from repro.device.gpu import OutOfMemoryError
 from repro.zoo import resnet_from_units
@@ -32,10 +32,9 @@ def main():
         ("superneurons", RuntimeConfig.superneurons(
             workspace_policy=WorkspacePolicy.NONE)),
     ]:
-        ex = Executor(mk_net(), cfg)
-        res = ex.run_iteration(0, optimizer=SGD(0.01))
+        with Session(mk_net(), cfg) as sess:
+            res = sess.run_iteration(0, optimizer=SGD(0.01))
         peaks[name] = res.peak_bytes
-        ex.close()
         print(f"{name:14s} needs {res.peak_bytes / MiB:7.2f} MiB "
               f"(loss {res.loss:.4f})")
 
@@ -51,22 +50,21 @@ def main():
     except OutOfMemoryError as exc:
         print(f"baseline:      OOM as expected ({exc})")
 
-    ex = Executor(mk_net(), RuntimeConfig.superneurons(
-        gpu_capacity=capacity, workspace_policy=WorkspacePolicy.NONE))
-    opt = SGD(0.01)
-    losses = [ex.run_iteration(i, optimizer=opt).loss for i in range(5)]
-    traffic = ex.dma.stats.total_bytes
-    ex.close()
+    with Session(mk_net(), RuntimeConfig.superneurons(
+            gpu_capacity=capacity,
+            workspace_policy=WorkspacePolicy.NONE)) as sess:
+        opt = SGD(0.01)
+        losses = [r.loss for r in sess.run(iters=5, optimizer=opt)]
+        traffic = sess.executor.dma.stats.total_bytes
     print(f"superneurons:  trained 5 iterations, losses "
           f"{' -> '.join(f'{v:.3f}' for v in losses)}")
     print(f"               offload/prefetch traffic {traffic / MiB:.1f} MiB")
 
     # 3) verify the squeezed run matches a roomy-GPU run exactly
-    ex = Executor(mk_net(), RuntimeConfig.superneurons(
-        workspace_policy=WorkspacePolicy.NONE))
-    opt = SGD(0.01)
-    roomy = [ex.run_iteration(i, optimizer=opt).loss for i in range(5)]
-    ex.close()
+    with Session(mk_net(), RuntimeConfig.superneurons(
+            workspace_policy=WorkspacePolicy.NONE)) as sess:
+        opt = SGD(0.01)
+        roomy = [r.loss for r in sess.run(iters=5, optimizer=opt)]
     assert roomy == losses, "squeezed run diverged from roomy run"
     print("\nsqueezed-GPU training matches the roomy-GPU run bit for bit.")
 

@@ -1,9 +1,17 @@
 """SuperNeurons reproduction: dynamic GPU memory management for DNN training.
 
-Public API tour:
+Public API tour — the fluent :class:`Session` builder is the
+recommended entry point:
 
->>> from repro import zoo, RuntimeConfig, Executor
+>>> from repro import zoo, Session
 >>> net = zoo.lenet(batch=8)
+>>> with Session(net).with_policy("offload", cache="lru") \\
+...                  .with_policy("recompute", strategy="cost_aware") as s:
+...     result = s.run_iteration(0)
+
+The legacy constructor keeps working unchanged:
+
+>>> from repro import Executor, RuntimeConfig
 >>> ex = Executor(net, RuntimeConfig.superneurons())
 >>> result = ex.run_iteration(0)
 
@@ -12,21 +20,33 @@ subsystem maps onto the packages below.
 """
 
 from repro.core.config import RecomputeStrategy, RuntimeConfig, WorkspacePolicy
+from repro.core.policy import (
+    POLICY_REGISTRY,
+    MemoryPolicy,
+    StepContext,
+    register_policy,
+)
 from repro.core.runtime import Executor, IterationResult
+from repro.core.session import Session
 from repro.graph.network import Net
 from repro.graph.route import ExecutionRoute
 from repro.train.trainer import Trainer
 from repro.train.sgd import SGD
 from repro import zoo
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RuntimeConfig",
     "RecomputeStrategy",
     "WorkspacePolicy",
+    "MemoryPolicy",
+    "StepContext",
+    "POLICY_REGISTRY",
+    "register_policy",
     "Executor",
     "IterationResult",
+    "Session",
     "Net",
     "ExecutionRoute",
     "Trainer",

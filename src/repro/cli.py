@@ -7,6 +7,7 @@ Commands
 ``trace``   — print the stepwise memory trace (the Fig. 10 curve).
 ``probe``   — largest batch (or deepest ResNet) before OOM.
 ``breakdown`` — Fig. 8-style time/memory percentages by layer type.
+``policies`` — the registered memory-policy stack per framework.
 """
 
 from __future__ import annotations
@@ -16,7 +17,8 @@ import sys
 
 from repro.analysis import memory_breakdown_by_type, time_breakdown_by_type
 from repro.analysis.report import Table
-from repro.core.runtime import Executor
+from repro.core.policy import POLICY_REGISTRY
+from repro.core.session import Session
 from repro.frameworks import FRAMEWORKS, framework_config
 from repro.frameworks.probe import max_batch, max_resnet_depth, try_run
 from repro.zoo import NETWORK_BUILDERS
@@ -24,14 +26,22 @@ from repro.zoo import NETWORK_BUILDERS
 MiB = 1024 * 1024
 GiB = 1024 * MiB
 
+DEFAULT_NET = "alexnet"
+
 
 def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--net", choices=sorted(NETWORK_BUILDERS), default="alexnet")
+    # default=None so commands can tell an explicit --net from the
+    # fallback (probe --depth must reject a network it would ignore)
+    p.add_argument("--net", choices=sorted(NETWORK_BUILDERS), default=None)
     p.add_argument("--batch", type=int, default=32)
     p.add_argument("--framework", choices=sorted(FRAMEWORKS),
                    default="superneurons")
     p.add_argument("--gpu-gb", type=float, default=12.0,
                    help="device DRAM capacity in GiB")
+
+
+def _net_name(args) -> str:
+    return args.net or DEFAULT_NET
 
 
 def _config(args):
@@ -42,13 +52,14 @@ def _config(args):
 
 
 def cmd_report(args) -> int:
-    net = NETWORK_BUILDERS[args.net](batch=args.batch)
+    name = _net_name(args)
+    net = NETWORK_BUILDERS[name](batch=args.batch)
     res = try_run(net, _config(args))
     if res is None:
-        print(f"{args.net} (batch {args.batch}) does NOT fit "
+        print(f"{name} (batch {args.batch}) does NOT fit "
               f"{args.gpu_gb:g} GiB under {args.framework}")
         return 1
-    print(f"network      : {args.net} (batch {args.batch}, "
+    print(f"network      : {name} (batch {args.batch}, "
           f"{len(net)} layers)")
     print(f"framework    : {args.framework}")
     print(f"peak memory  : {res.peak_bytes / MiB:.1f} MiB "
@@ -69,11 +80,11 @@ def cmd_report(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    net = NETWORK_BUILDERS[args.net](batch=args.batch)
-    ex = Executor(net, _config(args))
-    res = ex.run_iteration(0)
-    ex.close()
-    tab = Table(f"stepwise memory: {args.net} b={args.batch} "
+    name = _net_name(args)
+    net = NETWORK_BUILDERS[name](batch=args.batch)
+    with Session(net, _config(args)) as sess:
+        res = sess.run_iteration(0)
+    tab = Table(f"stepwise memory: {name} b={args.batch} "
                 f"({args.framework})",
                 ["step", "label", "high (MiB)", "settled (MiB)", "live"])
     for t in res.traces:
@@ -86,26 +97,46 @@ def cmd_trace(args) -> int:
 def cmd_probe(args) -> int:
     factory = lambda: _config(args)
     if args.depth:
+        if args.net is not None:
+            print("probe --depth sweeps custom ResNets; it cannot honour "
+                  f"--net {args.net} (drop the flag)", file=sys.stderr)
+            return 2
         depth, n3 = max_resnet_depth(factory, batch=args.batch,
                                      limit_n3=args.limit)
         print(f"deepest ResNet under {args.framework} at batch "
               f"{args.batch}: depth {depth} (n3={n3})")
     else:
-        builder = NETWORK_BUILDERS[args.net]
+        name = _net_name(args)
+        builder = NETWORK_BUILDERS[name]
         b = max_batch(builder, factory, start=2, limit=args.limit)
-        print(f"largest {args.net} batch under {args.framework}: {b}")
+        print(f"largest {name} batch under {args.framework}: {b}")
     return 0
 
 
 def cmd_breakdown(args) -> int:
-    net = NETWORK_BUILDERS[args.net](batch=args.batch)
+    name = _net_name(args)
+    net = NETWORK_BUILDERS[name](batch=args.batch)
     t = time_breakdown_by_type(net)
     m = memory_breakdown_by_type(net)
-    tab = Table(f"breakdown: {args.net} b={args.batch}",
+    tab = Table(f"breakdown: {name} b={args.batch}",
                 ["layer type", "% time", "% memory"])
     for k in sorted(set(t) | set(m)):
         tab.add(k, f"{t.get(k, 0):.1f}", f"{m.get(k, 0):.1f}")
     print(tab.render())
+    return 0
+
+
+def cmd_policies(args) -> int:
+    if args.framework_name:
+        names = [args.framework_name]
+    else:
+        names = sorted(FRAMEWORKS)
+    tab = Table("registered memory-policy stacks",
+                ["framework", "policy stack"])
+    for name in names:
+        tab.add(name, FRAMEWORKS[name].describe_policies())
+    print(tab.render())
+    print(f"\nregistry: {', '.join(sorted(POLICY_REGISTRY))}")
     return 0
 
 
@@ -131,6 +162,12 @@ def main(argv=None) -> int:
     p = sub.add_parser("breakdown", help="Fig. 8 style layer-type shares")
     _add_common(p)
     p.set_defaults(fn=cmd_breakdown)
+
+    p = sub.add_parser("policies", help="memory-policy stack per framework")
+    p.add_argument("framework_name", nargs="?", default=None,
+                   choices=sorted(FRAMEWORKS),
+                   help="show a single framework's stack")
+    p.set_defaults(fn=cmd_policies)
 
     args = ap.parse_args(argv)
     return args.fn(args)

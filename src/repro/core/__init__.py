@@ -4,24 +4,38 @@ Composition (paper §3):
 
 * :mod:`~repro.core.liveness` — per-step live-tensor sets; frees tensors
   the moment no later step reads them.
-* :mod:`~repro.core.utp` — Unified Tensor Pool: offloads checkpoint
-  outputs to pinned host RAM during the forward pass, prefetches them
-  back ahead of their backward consumers.
 * :mod:`~repro.core.cache` — LRU tensor cache (Alg. 2): keeps tensors on
   the GPU while room remains, turning offload into eviction-on-pressure.
 * :mod:`~repro.core.recompute` — segment-wise recomputation planning
   (speed-centric / memory-centric / cost-aware).
 * :mod:`~repro.core.workspace` — per-step convolution algorithm choice
   under the memory left after the functional tensors are placed.
-* :mod:`~repro.core.runtime` — the executor gluing it all together,
-  with a byte-accurate trace of every step.
+* :mod:`~repro.core.policy` — the pluggable :class:`MemoryPolicy` API:
+  each optimization is a policy observing the step loop through hooks
+  and acting through a :class:`StepContext` facade.
+* :mod:`~repro.core.runtime` — the policy-free executor driving the
+  stack, with a byte-accurate trace of every step.
+* :mod:`~repro.core.session` — the fluent ``Session`` builder, the
+  top-level entry point.
 """
 
 from repro.core.config import RuntimeConfig, RecomputeStrategy, WorkspacePolicy
 from repro.core.liveness import LivenessPlan, LivenessAnalysis
 from repro.core.recompute import RecomputePlan, Segment, plan_segments
 from repro.core.cache import TensorCache
+from repro.core.policy import (
+    POLICY_REGISTRY,
+    LivenessPolicy,
+    MemoryPolicy,
+    OffloadCachePolicy,
+    RecomputePolicy,
+    StepContext,
+    describe_stack,
+    register_policy,
+    resolve_policies,
+)
 from repro.core.runtime import Executor, IterationResult, StepTrace
+from repro.core.session import Session
 from repro.core.workspace import WorkspaceSelector, WorkspaceChoice
 
 __all__ = [
@@ -34,9 +48,19 @@ __all__ = [
     "Segment",
     "plan_segments",
     "TensorCache",
+    "MemoryPolicy",
+    "StepContext",
+    "POLICY_REGISTRY",
+    "register_policy",
+    "resolve_policies",
+    "describe_stack",
+    "LivenessPolicy",
+    "OffloadCachePolicy",
+    "RecomputePolicy",
     "Executor",
     "IterationResult",
     "StepTrace",
+    "Session",
     "WorkspaceSelector",
     "WorkspaceChoice",
 ]

@@ -108,3 +108,14 @@ class RuntimeConfig:
     def capacity(self) -> int:
         return self.gpu_capacity if self.gpu_capacity is not None \
             else self.device.dram_bytes
+
+    # -- policy-stack view ---------------------------------------------------
+    def policy_stack(self):
+        """The ordered :class:`~repro.core.policy.MemoryPolicy` stack
+        this config denotes (what the executor will run)."""
+        from repro.core.policy import resolve_policies  # lazy: avoid cycle
+        return resolve_policies(self)
+
+    def describe_policies(self) -> str:
+        """Human-readable one-line summary of the policy stack."""
+        return " -> ".join(p.describe() for p in self.policy_stack())

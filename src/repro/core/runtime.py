@@ -1,18 +1,27 @@
-"""The SuperNeurons executor: one training iteration under a config.
+"""The SuperNeurons executor: one training iteration under a policy stack.
 
-This is the runtime of paper §3 in one place.  A single step loop walks
-the execution route; each optimization hooks a different moment of it:
+This is the runtime of paper §3 with the *mechanics* and the *policies*
+separated.  The executor owns the substrate — device ledger, timeline,
+DMA engine, allocator, tensor store — and a single step loop that walks
+the execution route.  Everything the paper calls an optimization lives
+in a :class:`~repro.core.policy.MemoryPolicy` dispatched through
+lifecycle hooks:
 
-* **liveness** — after every step, tensors past their last use are freed
-  (plan precomputed by :class:`~repro.core.liveness.LivenessAnalysis`);
-* **UTP offload/prefetch** — checkpoint outputs are copied to host on
-  the D2H stream during the forward pass (eager mode) or evicted on
-  pressure (cache mode); backward CONV steps prefetch the tensors the
-  *previous* CONV layer's backward will need on the H2D stream;
-* **recomputation** — backward steps that need a freed recomputable
-  tensor re-run the segment forward from its checkpoint anchor;
-* **dynamic workspaces** — every conv execution picks the fastest
-  algorithm whose workspace fits the bytes currently free.
+* **liveness** (``LivenessPolicy``) — after every step, tensors past
+  their last use are freed (plan precomputed by
+  :class:`~repro.core.liveness.LivenessAnalysis`);
+* **UTP offload/prefetch + tensor cache** (``OffloadCachePolicy``) —
+  checkpoint outputs are copied to host on the D2H stream during the
+  forward pass (eager mode) or evicted on pressure (cache mode);
+  backward steps prefetch upcoming host-resident reads on H2D;
+* **recomputation** (``RecomputePolicy``) — backward steps that need a
+  freed recomputable tensor re-run the segment forward from its anchor;
+* **dynamic workspaces** (``WorkspacePolicy``) — every conv execution
+  picks the fastest algorithm whose workspace fits the bytes free.
+
+The step loop itself contains no policy-specific branches; the stack is
+resolved from the :class:`~repro.core.config.RuntimeConfig` (or passed
+explicitly), so new policies are new classes, not new branches here.
 
 The executor runs identically in concrete mode (NumPy payloads, used to
 prove numerical equivalence) and simulated mode (byte/time ledger only,
@@ -22,15 +31,16 @@ used for 12 GB-scale capacity and speed benchmarks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.core.cache import TensorCache
-from repro.core.config import RecomputeStrategy, RuntimeConfig, WorkspacePolicy
+from repro.core.config import RuntimeConfig
 from repro.core.liveness import LivenessAnalysis, LivenessPlan
-from repro.core.recompute import RecomputePlan, plan_segments
-from repro.core.workspace import WorkspaceChoice, WorkspaceSelector
+from repro.core.policy import MemoryPolicy, StepContext, resolve_policies
+from repro.core.recompute import plan_segments
+from repro.core.workspace import WorkspaceChoice
 from repro.device.dma import CopyDirection, DMAEngine
 from repro.device.fabric import MemoryFabric
 from repro.device.gpu import OutOfMemoryError, SimulatedGPU
@@ -38,10 +48,8 @@ from repro.device.model import DeviceModel
 from repro.device.timeline import Event, Stream, Timeline
 from repro.graph.network import Net
 from repro.graph.route import ExecutionRoute, Phase, Step
-from repro.layers.base import Layer, LayerContext, LayerType
-from repro.layers.conv import Conv2D
+from repro.layers.base import Layer, LayerContext
 from repro.layers.data import DataLayer
-from repro.layers.softmax import SoftmaxLoss
 from repro.mempool.allocator import Allocation, CudaAllocator, PoolAllocator
 from repro.tensors.store import ArrayStore, NullStore
 from repro.tensors.tensor import Placement, Tensor, TensorKind
@@ -90,6 +98,8 @@ class IterationResult:
 
     def to_dict(self) -> dict:
         """JSON-serializable summary (traces flattened to plain dicts)."""
+        ws = self.workspace_choices
+        at_max = sum(1 for w in ws if w.got_max_speed)
         return {
             "iteration": self.iteration,
             "loss": self.loss,
@@ -105,6 +115,11 @@ class IterationResult:
             "stall_seconds": self.stall_seconds,
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses,
                       "evictions": self.cache_evictions},
+            "workspaces": {
+                "executions": len(ws),
+                "at_max_speed": at_max,
+                "fallbacks": len(ws) - at_max,
+            },
             "traces": [
                 {
                     "index": t.index,
@@ -135,157 +150,21 @@ class _PendingOffload:
     allocation: Allocation
 
 
-class RecomputeEngine:
-    """Demand-driven segment recomputation (paper §3.4 strategies)."""
-
-    def __init__(self, executor: "Executor", plan: RecomputePlan):
-        self.ex = executor
-        self.plan = plan
-        self.extra_forwards = 0
-        # speed-centric persistents: tensor_id -> (tensor, free_after_step)
-        self._kept: Dict[int, Tuple[Tensor, int]] = {}
-        self._materialized: Set[int] = set()  # id(segment anchors) done
-        self._transient: List[Tensor] = []
-
-    def reset_iteration(self) -> None:
-        self._kept.clear()
-        self._materialized.clear()
-        self._transient.clear()
-
-    # -- public hooks -----------------------------------------------------
-    def ensure(self, missing: List[Tensor], ctx: LayerContext) -> None:
-        """Make every tensor in ``missing`` resident by recomputation."""
-        for t in missing:
-            if t.is_live:
-                continue
-            producer = self.ex.net.layers[t.producer]
-            if not producer.is_recomputable:
-                raise RuntimeError(
-                    f"tensor {t.name} was freed but its producer "
-                    f"{producer.name} is not recomputable — scheduling bug"
-                )
-            seg = self.plan.segment_of.get(producer.layer_id)
-            if seg is None:
-                raise RuntimeError(f"{producer.name} not in any segment")
-            if seg.strategy is RecomputeStrategy.SPEED_CENTRIC:
-                self._materialize_segment(seg, ctx)
-            else:
-                self._chain_to(producer, ctx, targets={t.tensor_id})
-
-    def after_step(self, step_index: int) -> None:
-        """Free transients and expired speed-centric persistents."""
-        for t in self._transient:
-            if t.is_live:
-                self.ex._discard(t)
-        self._transient.clear()
-        expired = [tid for tid, (_t, fa) in self._kept.items()
-                   if fa <= step_index]
-        for tid in expired:
-            t, _fa = self._kept.pop(tid)
-            if t.is_live:
-                self.ex._discard(t)
-
-    # -- strategies ------------------------------------------------------------
-    def _materialize_segment(self, seg, ctx: LayerContext) -> None:
-        """Speed-centric: re-run every member once, keep the results."""
-        if id(seg) in self._materialized:
-            # Already rebuilt this iteration; any member freed since then
-            # had passed its backward use, so nothing more to do.
-            return
-        self._materialized.add(id(seg))
-        for member in seg.members:
-            if member.output is not None and member.output.is_live:
-                continue
-            self._run_forward(member, ctx)
-            bstep = self.ex.route.bstep_of[member.layer_id]
-            self._kept[member.output.tensor_id] = (member.output, bstep)
-        self._release_offloaded_anchor(seg)
-
-    def _release_offloaded_anchor(self, seg) -> None:
-        """Drop the anchor's GPU copy once the chain has consumed it.
-
-        The anchor stays in host RAM (it was offloaded); its own
-        backward will prefetch it again.  Without this, the anchor
-        inflates the segment-backward working set above l_peak —
-        the paper's measured AlexNet peak (exactly 4 tensors at LRN1's
-        backward) implies their runtime releases it too.
-        """
-        out = seg.anchor.output
-        if out is not None and out.on_gpu and out.host_resident \
-                and not out.locked:
-            self.ex._free_gpu_only(out)
-
-    def _chain_to(self, target_layer: Layer, ctx: LayerContext,
-                  targets: Set[int]) -> None:
-        """Memory-centric: rebuild anchor→target, dropping intermediates
-        as soon as their chain consumer has run."""
-        chain = self._chain_layers(target_layer)
-        produced: List[Tensor] = []
-        for i, member in enumerate(chain):
-            if member.output is not None and member.output.is_live:
-                continue
-            self._run_forward(member, ctx)
-            produced.append(member.output)
-            # inputs that no later chain layer reads can go immediately
-            still_needed = {
-                inp.tensor_id
-                for later in chain[i + 1:]
-                for inp in (p.output for p in later.prev)
-            }
-            for t in list(produced):
-                if t.tensor_id in targets or t.tensor_id in still_needed:
-                    continue
-                if t.tensor_id == member.output.tensor_id:
-                    continue
-                self.ex._discard(t)
-                produced.remove(t)
-        # whatever remains (the targets) lives only through this step
-        self._transient.extend(p for p in produced if p.is_live)
-        self._release_offloaded_anchor(
-            self.plan.segment_of[target_layer.layer_id])
-
-    def _chain_layers(self, target_layer: Layer) -> List[Layer]:
-        """Members between the segment anchor and ``target_layer``, in
-        forward route order (the re-execution schedule)."""
-        seg = self.plan.segment_of[target_layer.layer_id]
-        out: List[Layer] = []
-        for m in seg.members:
-            out.append(m)
-            if m.layer_id == target_layer.layer_id:
-                break
-        return out
-
-    # -- the actual re-execution --------------------------------------------------
-    def _run_forward(self, layer: Layer, ctx: LayerContext) -> None:
-        ex = self.ex
-        for p in layer.prev:
-            if not p.output.is_live:
-                # nested dependency (e.g. a join reading another branch):
-                # resolve recursively through the normal path
-                self.ensure([p.output], ctx)
-            ex._make_gpu_resident(p.output)
-            p.output.lock()
-        ex._gpu_alloc_tensor(layer.output)
-        layer.output.lock()
-        ex.timeline.submit(
-            Stream.COMPUTE,
-            layer.sim_time_forward(ex.model),
-            f"recompute:{layer.name}",
-        )
-        if ex.concrete:
-            ins = [ex.store.get_required(p.output) for p in layer.prev]
-            out = layer.forward(ins, ctx)
-            ex.store.put(layer.output, out)
-        for p in layer.prev:
-            p.output.unlock()
-        layer.output.unlock()
-        self.extra_forwards += 1
-
-
 class Executor:
-    """Runs training iterations of one network under one config."""
+    """Runs training iterations of one network under one policy stack.
 
-    def __init__(self, net: Net, config: Optional[RuntimeConfig] = None):
+    ``Executor(net, config)`` resolves the stack from the config — the
+    legacy constructor keeps working unchanged.  ``policies`` overrides
+    the stack explicitly (the :class:`~repro.core.session.Session`
+    builder uses this to append custom policies).
+    """
+
+    def __init__(
+        self,
+        net: Net,
+        config: Optional[RuntimeConfig] = None,
+        policies: Optional[Sequence[MemoryPolicy]] = None,
+    ):
         self.net = net.build()
         self.config = config or RuntimeConfig()
         cfg = self.config
@@ -313,9 +192,19 @@ class Executor:
         )
         self.liveness = LivenessAnalysis(self.route, cfg, self.recompute_plan)
         self.plan: LivenessPlan = self.liveness.compile()
-        self.engine = RecomputeEngine(self, self.recompute_plan)
-        self.cache = TensorCache(policy=cfg.cache_policy)
-        self.selector = WorkspaceSelector(cfg.workspace_policy, self.model)
+
+        # the policy stack (ordered; dispatch order is semantic)
+        self.policies: List[MemoryPolicy] = (
+            list(policies) if policies is not None else resolve_policies(cfg)
+        )
+        self._ctx = StepContext(self)
+        self._offload_policy = self._find_policy("offload")
+        self._recompute_policy = self._find_policy("recompute")
+        self._workspace_policy = self._find_policy("workspace")
+        self._fallback_cache: Optional[TensorCache] = None
+        self._fallback_recompute: Optional[MemoryPolicy] = None
+        for p in self.policies:
+            p.bind(self._ctx)
 
         # runtime state
         self._alloc_of: Dict[int, Allocation] = {}
@@ -325,6 +214,61 @@ class Executor:
         self._stall = 0.0
         self.param_bytes = 0
         self._allocate_params()
+
+    # -------------------------------------------------------------- policies
+    def _find_policy(self, key: str) -> Optional[MemoryPolicy]:
+        for p in self.policies:
+            if p.key == key:
+                return p
+        return None
+
+    def _dispatch(self, hook: str, *args) -> None:
+        ctx = self._ctx
+        for p in self.policies:
+            getattr(p, hook)(ctx, *args)
+
+    @property
+    def cache(self) -> TensorCache:
+        """The offload policy's tensor cache (dormant one otherwise)."""
+        if self._offload_policy is not None:
+            return self._offload_policy.cache
+        if self._fallback_cache is None:
+            self._fallback_cache = TensorCache()
+        return self._fallback_cache
+
+    @property
+    def selector(self):
+        """The workspace policy's per-execution choice recorder."""
+        return self._workspace_policy.selector \
+            if self._workspace_policy is not None else None
+
+    @property
+    def engine(self) -> MemoryPolicy:
+        """Compatibility alias for the recomputation policy.
+
+        Always an object (a dormant, never-dispatched policy when
+        recomputation is off), so legacy ``ex.engine.extra_forwards``
+        reads keep returning 0 as they did with the old engine.
+        """
+        if self._recompute_policy is not None:
+            return self._recompute_policy
+        if self._fallback_recompute is None:
+            from repro.core.policy import RecomputePolicy
+            self._fallback_recompute = RecomputePolicy.from_config(self.config)
+        return self._fallback_recompute
+
+    def _cache_counters(self):
+        if self._offload_policy is None:
+            return 0, 0, 0
+        c = self._offload_policy.cache
+        return c.hits, c.misses, c.evictions
+
+    def _extra_forwards(self) -> int:
+        return self._recompute_policy.extra_forwards \
+            if self._recompute_policy is not None else 0
+
+    def _workspace_choices(self) -> List[WorkspaceChoice]:
+        return self.selector.choices if self.selector is not None else []
 
     # ------------------------------------------------------------------ params
     def _allocate_params(self) -> None:
@@ -344,6 +288,12 @@ class Executor:
         if isinstance(self.allocator, PoolAllocator):
             self.allocator.close()
 
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # ------------------------------------------------------------- allocation
     def _gpu_alloc_tensor(self, t: Tensor) -> Allocation:
         """Allocate GPU bytes for ``t``, reaping/evicting under pressure."""
@@ -354,9 +304,7 @@ class Executor:
         t.placement = Placement.GPU
         if t.kind in (TensorKind.DATA, TensorKind.GRAD):
             self._live.add(t.tensor_id)
-        if t.kind is TensorKind.DATA and self.config.use_offload \
-                and self.config.use_tensor_cache:
-            self.cache.insert(t)
+        self._dispatch("on_tensor_resident", t, "alloc")
         return a
 
     def _try_alloc(self, nbytes: int, tag: str) -> Allocation:
@@ -364,31 +312,18 @@ class Executor:
             return self.allocator.alloc(nbytes, tag)
         except OutOfMemoryError:
             pass
-        # 1) reap any completed eager offloads
-        self._reap_offloads()
-        try:
-            return self.allocator.alloc(nbytes, tag)
-        except OutOfMemoryError:
-            pass
-        # 2) force-complete pending offloads (stalls compute)
-        while self._pending:
-            self._force_reap_one()
+
+        def retry() -> Optional[Allocation]:
             try:
                 return self.allocator.alloc(nbytes, tag)
             except OutOfMemoryError:
-                continue
-        # 3) LRU eviction (Alg. 2 LRU.out) if the cache is armed.  The
-        # loop handles fragmentation: freed bytes may not be contiguous,
-        # so keep evicting (coalescing merges holes) until the request
-        # fits or nothing evictable remains.
-        if self.config.use_offload and self.config.use_tensor_cache:
-            while True:
-                freed = self.cache.evict_for(nbytes, self._evict_to_host)
-                try:
-                    return self.allocator.alloc(nbytes, tag)
-                except OutOfMemoryError:
-                    if freed == 0:
-                        raise
+                return None
+
+        # under pressure, each policy in stack order may free bytes
+        for p in self.policies:
+            a = p.on_memory_pressure(self._ctx, nbytes, tag, retry)
+            if a is not None:
+                return a
         raise OutOfMemoryError(nbytes, self.allocator.free_bytes,
                                self.gpu.capacity)
 
@@ -397,7 +332,7 @@ class Executor:
         a = self._alloc_of.pop(t.tensor_id, None)
         if a is not None:
             self.allocator.free(a)
-        self.cache.remove(t)
+        self._dispatch("on_tensor_released", t)
         if t.host_resident:
             # keep the bytes: they may still be device-side if the D2H
             # copy that made the host reservation has not been reaped
@@ -416,7 +351,7 @@ class Executor:
         a = self._alloc_of.pop(t.tensor_id, None)
         if a is not None:
             self.allocator.free(a)
-        self.cache.remove(t)
+        self._dispatch("on_tensor_dead", t)
         if t.host_resident:
             self.fabric.evict(t.tensor_id)
             t.host_resident = False
@@ -477,7 +412,7 @@ class Executor:
         if a is not None:
             self.allocator.free(a)
         self.store.move_to_host(t)
-        self.cache.remove(t)
+        self._dispatch("on_tensor_released", t)
         t.placement = Placement.HOST
 
     def _prefetch_async(self, t: Tensor) -> bool:
@@ -496,9 +431,7 @@ class Executor:
         self._arrivals[t.tensor_id] = ev
         t.placement = Placement.GPU
         self.store.move_to_gpu(t)
-        if t.kind is TensorKind.DATA and self.config.use_offload \
-                and self.config.use_tensor_cache:
-            self.cache.insert(t)
+        self._dispatch("on_tensor_resident", t, "prefetch")
         return True
 
     def _make_gpu_resident(self, t: Tensor) -> None:
@@ -507,7 +440,7 @@ class Executor:
             ev = self._arrivals.pop(t.tensor_id, None)
             if ev is not None:
                 self._stall += self.timeline.sync(Stream.COMPUTE, ev)
-            self.cache.touch(t)
+            self._dispatch("on_tensor_access", t)
             return
         if t.placement is Placement.HOST:
             a = self._gpu_alloc_tensor(t)  # may evict/reap
@@ -537,44 +470,34 @@ class Executor:
         iteration: int = 0,
         optimizer=None,
     ) -> IterationResult:
-        cfg = self.config
-        ctx = LayerContext(iteration=iteration, training=True)
-        self.engine.reset_iteration()
+        ctx = self._ctx
+        ctx._begin_iteration(iteration, LayerContext(iteration=iteration,
+                                                     training=True))
+        self._dispatch("on_iteration_start")
         self.allocator.reset_peak()
         t0 = self.timeline.elapsed
         d2h0, h2d0 = self.dma.stats.d2h_bytes, self.dma.stats.h2d_bytes
         calls0 = self.allocator.stats.calls
         ovh0 = self.allocator.stats.overhead_seconds
-        hits0, miss0, ev0 = self.cache.hits, self.cache.misses, self.cache.evictions
-        extra0 = self.engine.extra_forwards
+        hits0, miss0, ev0 = self._cache_counters()
+        extra0 = self._extra_forwards()
         stall0 = self._stall
-        ws_start = len(self.selector.choices)
+        ws_start = len(self._workspace_choices())
         traces: List[StepTrace] = []
-        n = self.route.num_layers
 
         for step in self.route.steps:
+            ctx._begin_step(step)
+            self._dispatch("before_step", step)
             if step.phase is Phase.FORWARD:
                 ws = self._forward_step(step, ctx)
             else:
                 ws = self._backward_step(step, ctx, optimizer)
             high = self.allocator.used_bytes
-            # frees scheduled after this step
-            if cfg.use_liveness:
-                for t in self.plan.frees(step.index):
-                    if any(p.tensor is t for p in self._pending):
-                        continue  # eager offload in flight; reap handles it
-                    self._discard(t)
-            self.engine.after_step(step.index)
-            # prefetch-ahead (paper §3.3.1): start the H2D fetch of the
-            # next backward step's host-resident reads so it overlaps
-            # this step's compute.  One-step lookahead rather than the
-            # paper's conv-to-conv horizon, issued after this step's
-            # frees: identical overlap on the timeline (the copy starts
-            # at the same compute timestamp), but tensors land
-            # just-in-time so the measured peak stays at l_peak — which
-            # the paper's own Fig. 10c peak (exactly max(l_i)) requires.
-            if cfg.use_offload and step.phase is Phase.BACKWARD:
-                self._prefetch_ahead(step)
+            # reclamation: eager-offload registration, liveness frees,
+            # recompute cleanup — in stack order — then the settled hook
+            # (prefetch-ahead) once the frees have landed
+            self._dispatch("after_step", step)
+            self._dispatch("on_step_settled", step)
             traces.append(StepTrace(
                 index=step.index,
                 label=f"{step.layer.name}:{step.phase.value[0]}",
@@ -588,6 +511,7 @@ class Executor:
             ))
 
         # iteration barrier: drain copies, free whatever is left
+        self._dispatch("on_iteration_end")
         while self._pending:
             self._force_reap_one()
         self.timeline.sync_all()
@@ -597,6 +521,7 @@ class Executor:
         ll = self.net.loss_layer
         if ll is not None:
             loss = ll.last_loss
+        hits1, miss1, ev1 = self._cache_counters()
         return IterationResult(
             iteration=iteration,
             loss=loss,
@@ -609,12 +534,12 @@ class Executor:
             h2d_bytes=self.dma.stats.h2d_bytes - h2d0,
             alloc_calls=self.allocator.stats.calls - calls0,
             alloc_overhead=self.allocator.stats.overhead_seconds - ovh0,
-            extra_forwards=self.engine.extra_forwards - extra0,
+            extra_forwards=self._extra_forwards() - extra0,
             stall_seconds=self._stall - stall0,
-            cache_hits=self.cache.hits - hits0,
-            cache_misses=self.cache.misses - miss0,
-            cache_evictions=self.cache.evictions - ev0,
-            workspace_choices=self.selector.choices[ws_start:],
+            cache_hits=hits1 - hits0,
+            cache_misses=miss1 - miss0,
+            cache_evictions=ev1 - ev0,
+            workspace_choices=self._workspace_choices()[ws_start:],
         )
 
     def _end_of_iteration_cleanup(self) -> None:
@@ -638,10 +563,15 @@ class Executor:
                 f"iteration leaked {residual} bytes beyond parameters"
             )
 
-    # -- forward -----------------------------------------------------------------
-    def _forward_step(self, step: Step, ctx: LayerContext) -> Optional[WorkspaceChoice]:
+    # -- step mechanics (policy-free) -----------------------------------------
+    def _free_step_scratch(self, ctx: StepContext) -> None:
+        for a in ctx._scratch:
+            self.allocator.free(a)
+        ctx._scratch.clear()
+
+    def _forward_step(self, step: Step, ctx: StepContext
+                      ) -> Optional[WorkspaceChoice]:
         layer = step.layer
-        self._reap_offloads()
         reads = self.route.forward_reads(layer)
         for t in reads:
             self._make_gpu_resident(t)
@@ -649,72 +579,42 @@ class Executor:
         self._gpu_alloc_tensor(layer.output)
         layer.output.lock()
 
-        ws_choice: Optional[WorkspaceChoice] = None
-        ws_alloc: Optional[Allocation] = None
-        duration: float
-        if isinstance(layer, Conv2D):
-            ws_choice = self.selector.select(
-                layer, self.allocator.free_bytes, "forward"
-            )
-            if ws_choice.assigned_ws > 0:
-                try:
-                    ws_alloc = self.allocator.alloc(
-                        ws_choice.assigned_ws, tag=f"ws:{layer.name}"
-                    )
-                except OutOfMemoryError:
-                    # fragmentation: fall back to the zero-workspace algo
-                    ws_choice = WorkspaceChoice(
-                        layer.name, "forward",
-                        layer.algorithms(self.model)[0],
-                        self.allocator.free_bytes,
-                        ws_choice.max_speed_algo,
-                    )
-                    self.selector.choices[-1] = ws_choice
-            duration = layer.sim_time_forward(self.model, ws_choice.algo)
-        else:
-            duration = layer.sim_time_forward(self.model)
-
+        self._dispatch("before_compute", step)
+        duration = ctx.step_duration if ctx.step_duration is not None \
+            else layer.sim_time_forward(self.model)
         ev = self.timeline.submit(Stream.COMPUTE, duration, f"fw:{layer.name}")
+        ctx.last_compute_event = ev
 
         if self.concrete:
             ins = [self.store.get_required(p.output) for p in layer.prev]
-            out = layer.forward(ins, ctx)
+            out = layer.forward(ins, ctx.layer_ctx)
             self.store.put(layer.output, out)
-            if hasattr(layer, "update_running_stats") and ctx.training:
+            if hasattr(layer, "update_running_stats") and ctx.layer_ctx.training:
                 layer.update_running_stats(ins[0])
 
-        if ws_alloc is not None:
-            self.allocator.free(ws_alloc)
+        self._free_step_scratch(ctx)
         for t in reads:
             t.unlock()
         layer.output.unlock()
+        return ctx.step_workspace
 
-        if (
-            self.config.use_offload
-            and not self.config.use_tensor_cache
-            and layer.ltype in self.config.offload_types
-        ):
-            self._offload_async(layer.output, after=[ev])
-        return ws_choice
-
-    # -- backward -------------------------------------------------------------------
     def _backward_step(
-        self, step: Step, ctx: LayerContext, optimizer
+        self, step: Step, ctx: StepContext, optimizer
     ) -> Optional[WorkspaceChoice]:
         layer = step.layer
-        self._reap_offloads()
         if isinstance(layer, DataLayer):
             return None
 
         fw_needed = self.route.backward_reads(layer)
         missing = [t for t in fw_needed if not t.is_live]
         if missing:
-            if not self.recompute_plan.enabled:
+            self._dispatch("on_backward_need", step, missing)
+            still = [t for t in missing if not t.is_live]
+            if still:
                 raise RuntimeError(
                     f"backward of {layer.name} needs freed tensors "
-                    f"{[t.name for t in missing]} but recomputation is off"
+                    f"{[t.name for t in still]} but recomputation is off"
                 )
-            self.engine.ensure(missing, ctx)
         for t in fw_needed:
             self._make_gpu_resident(t)
             t.lock()
@@ -731,38 +631,16 @@ class Executor:
         for g in layer.param_grads:
             self._gpu_alloc_tensor(g)
 
-        ws_choice: Optional[WorkspaceChoice] = None
-        ws_alloc: Optional[Allocation] = None
-        if isinstance(layer, Conv2D):
-            ws_choice = self.selector.select(
-                layer, self.allocator.free_bytes, "backward"
-            )
-            if ws_choice.assigned_ws > 0:
-                try:
-                    ws_alloc = self.allocator.alloc(
-                        ws_choice.assigned_ws, tag=f"ws:{layer.name}"
-                    )
-                except OutOfMemoryError:
-                    ws_choice = WorkspaceChoice(
-                        layer.name, "backward",
-                        layer.algorithms(self.model)[0],
-                        self.allocator.free_bytes,
-                        ws_choice.max_speed_algo,
-                    )
-                    self.selector.choices[-1] = ws_choice
-            duration = layer.sim_time_backward(self.model, ws_choice.algo)
-        else:
-            duration = layer.sim_time_backward(self.model)
-
-        self.timeline.submit(Stream.COMPUTE, duration, f"bw:{layer.name}")
+        self._dispatch("before_compute", step)
+        duration = ctx.step_duration if ctx.step_duration is not None \
+            else layer.sim_time_backward(self.model)
+        ev = self.timeline.submit(Stream.COMPUTE, duration, f"bw:{layer.name}")
+        ctx.last_compute_event = ev
 
         if self.concrete:
-            self._backward_values(layer, ctx, optimizer)
-        elif optimizer is not None:
-            pass  # nothing to update without payloads
+            self._backward_values(layer, ctx.layer_ctx, optimizer)
 
-        if ws_alloc is not None:
-            self.allocator.free(ws_alloc)
+        self._free_step_scratch(ctx)
         for t in fw_needed:
             t.unlock()
         if has_grad_in:
@@ -770,7 +648,7 @@ class Executor:
         for p in grad_targets:
             p.grad_output.unlock()
 
-        return ws_choice
+        return ctx.step_workspace
 
     def _backward_values(self, layer: Layer, ctx: LayerContext, optimizer) -> None:
         ins = [
@@ -800,20 +678,3 @@ class Executor:
                 layer.param_values[p_t.tensor_id] = optimizer.step_param(
                     p_t.tensor_id, layer.param_values[p_t.tensor_id], g_v
                 )
-
-    def _prefetch_ahead(self, step: Step) -> None:
-        nxt = step.index + 1
-        if nxt >= len(self.route.steps):
-            return
-        for t in self.liveness.reads_at(nxt, include_synthetic=False):
-            if t.placement is Placement.HOST:
-                self._prefetch_async(t)
-            elif (not t.is_live
-                  and t.tensor_id in self.plan.recompute_covered):
-                # the next step will trigger a segment recompute; start
-                # fetching its anchor now so the chain doesn't stall
-                producer = self.net.layers[t.producer]
-                seg = self.recompute_plan.segment_of.get(producer.layer_id)
-                if seg is not None and seg.anchor.output is not None \
-                        and seg.anchor.output.placement is Placement.HOST:
-                    self._prefetch_async(seg.anchor.output)

@@ -1,0 +1,168 @@
+"""Fluent top-level API: build a policy stack, run iterations.
+
+A :class:`Session` is the recommended entry point for new code::
+
+    from repro import Session
+
+    results = (Session(net)
+               .with_policy("offload", cache="lru")
+               .with_policy("recompute", strategy="cost_aware")
+               .run(iters=3))
+
+``with_policy`` maps options onto the underlying
+:class:`~repro.core.config.RuntimeConfig` through the registered
+policy's ``configure`` classmethod, so the config object stays the
+single source of truth and ``Session`` is provably equivalent to the
+legacy ``Executor(net, config)`` constructor — the equivalence tests
+assert identical ``IterationResult.to_dict()`` output for both paths.
+
+Custom :class:`~repro.core.policy.MemoryPolicy` *instances* can be
+appended with ``with_policy(my_policy)``; they ride at the end of the
+resolved stack, observing every hook without any executor edits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Union
+
+from repro.core.config import RuntimeConfig
+from repro.core.policy import (
+    POLICY_REGISTRY,
+    MemoryPolicy,
+    resolve_policies,
+)
+from repro.core.runtime import Executor, IterationResult
+from repro.graph.network import Net
+
+
+class Session:
+    """Fluent builder + context manager around the policy-driven runtime.
+
+    The builder is lazy: the :class:`~repro.core.runtime.Executor` (and
+    its device substrate) is constructed on first use, so every
+    ``with_*`` call before that is free.  After the first ``run`` the
+    stack is frozen — configuring a built session raises.
+    """
+
+    def __init__(self, net: Net, config: Optional[RuntimeConfig] = None):
+        self._net = net
+        self._config = config if config is not None else RuntimeConfig()
+        self._extra_policies: List[MemoryPolicy] = []
+        self._executor: Optional[Executor] = None
+        self.results: List[IterationResult] = []
+
+    # ------------------------------------------------------------- building
+    @classmethod
+    def from_framework(cls, net: Net, name: str, **overrides) -> "Session":
+        """Start from one of the framework policy models (``"caffe"``,
+        ``"torch"``, ``"mxnet"``, ``"tensorflow"``, ``"superneurons"``)."""
+        from repro.frameworks.models import framework_config
+        return cls(net, framework_config(name, **overrides))
+
+    def _require_unbuilt(self, what: str) -> None:
+        if self._executor is not None:
+            raise RuntimeError(
+                f"cannot {what}: the session is already built; "
+                "configure before the first run"
+            )
+
+    def with_policy(self, policy: Union[str, MemoryPolicy],
+                    **options) -> "Session":
+        """Arm a registered policy by name (options map onto the config),
+        or append a custom :class:`MemoryPolicy` instance to the stack."""
+        self._require_unbuilt("add a policy")
+        if isinstance(policy, MemoryPolicy):
+            if options:
+                raise TypeError(
+                    "options are only valid with a registry name")
+            self._extra_policies.append(policy)
+            return self
+        try:
+            cls = POLICY_REGISTRY[policy]
+        except KeyError:
+            raise KeyError(
+                f"unknown policy {policy!r}; registered: "
+                f"{sorted(POLICY_REGISTRY)}"
+            ) from None
+        cls.configure(self._config, **options)
+        return self
+
+    def without_policy(self, name: str) -> "Session":
+        """Disarm one of the built-in policies by registry name."""
+        self._require_unbuilt("remove a policy")
+        from repro.core.config import RecomputeStrategy, WorkspacePolicy
+        if name == "liveness":
+            self._config.use_liveness = False
+        elif name == "offload":
+            self._config.use_offload = False
+        elif name == "recompute":
+            self._config.recompute = RecomputeStrategy.NONE
+        elif name == "workspace":
+            self._config.workspace_policy = WorkspacePolicy.NONE
+        else:
+            raise KeyError(f"unknown policy {name!r}")
+        return self
+
+    def with_config(self, **fields) -> "Session":
+        """Set substrate knobs (``concrete``, ``gpu_capacity``, ...)."""
+        self._require_unbuilt("change the config")
+        valid = {f.name for f in dataclasses.fields(self._config)}
+        for k, v in fields.items():
+            if k not in valid:
+                raise TypeError(f"RuntimeConfig has no field {k!r}")
+            setattr(self._config, k, v)
+        return self
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def config(self) -> RuntimeConfig:
+        return self._config
+
+    @property
+    def executor(self) -> Executor:
+        """The lazily built executor (building it freezes the config)."""
+        if self._executor is None:
+            stack = resolve_policies(self._config) + self._extra_policies
+            self._executor = Executor(self._net, self._config,
+                                      policies=stack)
+        return self._executor
+
+    def policy_names(self) -> List[str]:
+        """Registry keys of the stack this session resolves to."""
+        if self._executor is not None:
+            return [p.key for p in self._executor.policies]
+        return [p.key for p in resolve_policies(self._config)] + \
+            [p.key for p in self._extra_policies]
+
+    def describe(self) -> str:
+        """Human-readable summary of the resolved policy stack."""
+        policies = self._executor.policies if self._executor is not None \
+            else resolve_policies(self._config) + self._extra_policies
+        return " -> ".join(p.describe() for p in policies)
+
+    # -------------------------------------------------------------- running
+    def run_iteration(self, iteration: int = 0,
+                      optimizer=None) -> IterationResult:
+        res = self.executor.run_iteration(iteration, optimizer=optimizer)
+        self.results.append(res)
+        return res
+
+    def run(self, iters: int = 1, optimizer=None,
+            start_iteration: int = 0) -> List[IterationResult]:
+        """Run ``iters`` iterations; returns their results."""
+        return [
+            self.run_iteration(i, optimizer=optimizer)
+            for i in range(start_iteration, start_iteration + iters)
+        ]
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,89 +1,109 @@
-"""The five framework policy models as config factories."""
+"""The five framework memory models as declarative policy stacks.
+
+Each framework is a list of ``(policy_key, options)`` pairs plus a few
+substrate knobs; the concrete :class:`~repro.core.config.RuntimeConfig`
+is derived by running each registered policy's ``configure`` mapping —
+the same machinery ``Session.with_policy`` uses — so the frameworks, the
+CLI's ``repro policies`` listing, and the fluent builder can never drift
+apart.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from repro.core.config import RecomputeStrategy, RuntimeConfig, WorkspacePolicy
+from repro.core.policy import POLICY_REGISTRY
+
+#: One policy-stack entry: registry key + configure() options.
+PolicySpec = Tuple[str, Dict[str, object]]
+
+
+def _bare_config() -> RuntimeConfig:
+    """A config with every optimization disarmed (policies opt back in)."""
+    return RuntimeConfig(
+        use_liveness=False,
+        use_offload=False,
+        recompute=RecomputeStrategy.NONE,
+        workspace_policy=WorkspacePolicy.NONE,
+    )
 
 
 @dataclass(frozen=True)
 class FrameworkModel:
-    """Name + config factory + display metadata."""
+    """Name + declarative policy stack + display metadata."""
 
     name: str
-    make_config: Callable[..., RuntimeConfig]
+    policies: Tuple[PolicySpec, ...]
+    substrate: Dict[str, object] = field(default_factory=dict)
     notes: str = ""
 
     def config(self, **overrides) -> RuntimeConfig:
-        return self.make_config(**overrides)
+        """Derive the runtime config; keyword overrides win last."""
+        cfg = _bare_config()
+        for key, value in self.substrate.items():
+            setattr(cfg, key, value)
+        for key, options in self.policies:
+            POLICY_REGISTRY[key].configure(cfg, **options)
+        valid = {f.name for f in dataclasses.fields(cfg)}
+        for key, value in overrides.items():
+            if key not in valid:
+                raise TypeError(f"RuntimeConfig has no field {key!r}")
+            setattr(cfg, key, value)
+        return cfg
 
+    def policy_stack(self, **overrides):
+        """The resolved :class:`MemoryPolicy` stack for this framework."""
+        return self.config(**overrides).policy_stack()
 
-def _caffe(**kw) -> RuntimeConfig:
-    return RuntimeConfig(
-        use_liveness=True,
-        liveness_scope="grads_only",
-        use_offload=False,
-        recompute=RecomputeStrategy.NONE,
-        workspace_policy=kw.pop("workspace_policy", WorkspacePolicy.MAX_SPEED),
-        **kw,
-    )
-
-
-def _torch(**kw) -> RuntimeConfig:
-    return RuntimeConfig(
-        use_liveness=True,
-        liveness_scope="grads_only",
-        use_offload=False,
-        recompute=RecomputeStrategy.NONE,
-        workspace_policy=kw.pop("workspace_policy", WorkspacePolicy.NONE),
-        **kw,
-    )
-
-
-def _mxnet(**kw) -> RuntimeConfig:
-    return RuntimeConfig(
-        use_liveness=True,
-        use_offload=False,
-        recompute=kw.pop("recompute", RecomputeStrategy.SPEED_CENTRIC),
-        workspace_policy=kw.pop("workspace_policy", WorkspacePolicy.DYNAMIC),
-        **kw,
-    )
-
-
-def _tensorflow(**kw) -> RuntimeConfig:
-    return RuntimeConfig(
-        use_liveness=True,
-        use_offload=True,
-        use_tensor_cache=False,      # eager swap, no reuse cache
-        pinned_host=False,           # pageable transfers (the §2.2 critique)
-        recompute=RecomputeStrategy.NONE,
-        workspace_policy=kw.pop("workspace_policy", WorkspacePolicy.DYNAMIC),
-        **kw,
-    )
-
-
-def _superneurons(**kw) -> RuntimeConfig:
-    return RuntimeConfig.superneurons(**kw)
+    def describe_policies(self) -> str:
+        return self.config().describe_policies()
 
 
 FRAMEWORKS: Dict[str, FrameworkModel] = {
     "caffe": FrameworkModel(
-        "Caffe", _caffe,
-        "static fw/bw sharing; greedy workspaces"),
+        "Caffe",
+        policies=(
+            ("liveness", {"scope": "grads_only"}),
+            ("workspace", {"mode": "max"}),
+        ),
+        notes="static fw/bw sharing; greedy workspaces"),
     "torch": FrameworkModel(
-        "Torch", _torch,
-        "static fw/bw sharing; no workspaces"),
+        "Torch",
+        policies=(
+            ("liveness", {"scope": "grads_only"}),
+            ("workspace", {"mode": "none"}),
+        ),
+        notes="static fw/bw sharing; no workspaces"),
     "mxnet": FrameworkModel(
-        "MXNet", _mxnet,
-        "DAG liveness + speed-centric recompute"),
+        "MXNet",
+        policies=(
+            ("liveness", {}),
+            ("recompute", {"strategy": "speed"}),
+            ("workspace", {"mode": "dynamic"}),
+        ),
+        notes="DAG liveness + speed-centric recompute"),
     "tensorflow": FrameworkModel(
-        "TensorFlow", _tensorflow,
-        "DAG liveness + pageable swap"),
+        "TensorFlow",
+        policies=(
+            ("liveness", {}),
+            # eager swap, no reuse cache; pageable transfers are the
+            # paper's §2.2 critique
+            ("offload", {"cache": None, "pinned": False}),
+            ("workspace", {"mode": "dynamic"}),
+        ),
+        notes="DAG liveness + pageable swap"),
     "superneurons": FrameworkModel(
-        "SuperNeurons", _superneurons,
-        "liveness + UTP/LRU cache + cost-aware recompute"),
+        "SuperNeurons",
+        policies=(
+            ("offload", {"cache": "lru"}),
+            ("liveness", {}),
+            ("recompute", {"strategy": "cost_aware"}),
+            ("workspace", {"mode": "dynamic"}),
+        ),
+        notes="liveness + UTP/LRU cache + cost-aware recompute"),
 }
 
 

@@ -17,17 +17,17 @@ from repro.graph.network import Net
 
 
 def try_run(net: Net, config: RuntimeConfig) -> Optional[IterationResult]:
-    """One simulated iteration; None when the device OOMs."""
+    """One simulated iteration; None when the device OOMs.
+
+    The context manager guarantees the executor's pool slab goes back to
+    the device ledger on every exit path (probes build hundreds of
+    executors, so a leak here compounds fast).
+    """
     try:
-        ex = Executor(net, config)
+        with Executor(net, config) as ex:
+            return ex.run_iteration(0)
     except (OutOfMemoryError, MemoryError):
         return None
-    try:
-        return ex.run_iteration(0)
-    except (OutOfMemoryError, MemoryError):
-        return None
-    finally:
-        ex.close()
 
 
 def peak_memory(net: Net, config: RuntimeConfig) -> Optional[int]:

@@ -1,7 +1,7 @@
-"""End-to-end trainer: Executor + SGD over iterations.
+"""End-to-end trainer: a Session + SGD over iterations.
 
 In concrete mode this performs *real* training — the loss goes down —
-under whatever memory configuration the executor was given.  The test
+under whatever memory policy stack the session was given.  The test
 suite's equivalence checks run the same net through different configs
 and require identical losses at every iteration.
 """
@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from repro.core.config import RuntimeConfig
 from repro.core.runtime import Executor, IterationResult
+from repro.core.session import Session
 from repro.graph.network import Net
 from repro.train.sgd import SGD
 
@@ -28,25 +29,46 @@ class TrainStats:
 
 
 class Trainer:
-    """Owns an executor and an optimizer; runs iterations."""
+    """Owns a session and an optimizer; runs iterations.
+
+    Accepts either a prebuilt :class:`Session` or the legacy
+    ``(net, config)`` pair, which it wraps in one.
+    """
 
     def __init__(
         self,
-        net: Net,
+        net: Optional[Net] = None,
         config: Optional[RuntimeConfig] = None,
         optimizer: Optional[SGD] = None,
+        session: Optional[Session] = None,
     ):
-        self.executor = Executor(net, config)
+        if session is None:
+            if net is None:
+                raise TypeError("Trainer needs a net or a session")
+            session = Session(net, config)
+        elif net is not None:
+            raise TypeError("pass either a net or a session, not both")
+        self.session = session
         self.optimizer = optimizer or SGD(lr=0.01)
+
+    @property
+    def executor(self) -> Executor:
+        return self.session.executor
 
     def train(self, iterations: int, start_iteration: int = 0) -> TrainStats:
         stats = TrainStats()
         for i in range(start_iteration, start_iteration + iterations):
-            res = self.executor.run_iteration(i, optimizer=self.optimizer)
+            res = self.session.run_iteration(i, optimizer=self.optimizer)
             if res.loss is not None:
                 stats.losses.append(res.loss)
             stats.results.append(res)
         return stats
 
     def close(self) -> None:
-        self.executor.close()
+        self.session.close()
+
+    def __enter__(self) -> "Trainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -49,3 +49,39 @@ class TestCLI:
             rc = main(["report", "--net", "lenet", "--batch", "4",
                        "--framework", fw])
             assert rc == 0
+
+    def test_report_defaults_to_alexnet(self, capsys):
+        rc = main(["report", "--batch", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "alexnet" in out
+
+    def test_probe_depth_rejects_explicit_net(self, capsys):
+        rc = main(["probe", "--depth", "--net", "vgg16", "--limit", "2"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--depth" in err or "cannot honour" in err
+
+    def test_probe_depth_without_net_runs(self, capsys):
+        rc = main(["probe", "--depth", "--batch", "2", "--limit", "2",
+                   "--gpu-gb", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "deepest ResNet" in out
+
+    def test_policies_lists_all_frameworks(self, capsys):
+        rc = main(["policies"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for fw in ("caffe", "torch", "mxnet", "tensorflow", "superneurons"):
+            assert fw in out
+        assert "cache=lru" in out          # superneurons stack
+        assert "eager" in out              # tensorflow's cacheless swap
+        assert "scope=grads_only" in out   # caffe/torch static sharing
+
+    def test_policies_single_framework(self, capsys):
+        rc = main(["policies", "superneurons"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recompute(strategy=cost_aware)" in out
+        assert "caffe" not in out
