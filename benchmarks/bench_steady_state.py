@@ -1,0 +1,148 @@
+"""Steady-state iteration replay: fresh-plan vs compiled-replay speed.
+
+The first benchmark of the repo's *own* performance rather than the
+paper's memory results: how much per-iteration wall-clock the compiled
+:class:`~repro.core.plan.IterationPlan` saves once the topology's policy
+decisions are frozen (ISSUE 2's tentpole).  Two arms per configuration,
+both in simulated mode on the same network:
+
+* **fresh** — ``steady_state_replay=False``: every iteration re-derives
+  liveness frees, offload/prefetch schedules, recompute cleanup, and
+  workspace picks through full hook dispatch;
+* **replay** — default: one recording iteration, then the compiled plan
+  (results are bit-identical; ``tests/test_steady_state.py`` proves it).
+
+Run as a script (CI's benchmark smoke job does)::
+
+    python benchmarks/bench_steady_state.py --output BENCH_speed.json
+
+Writes ``BENCH_speed.json`` (a list of per-config records — the perf
+trajectory file) and ``benchmarks/results/steady_state.txt`` (the table
+EXPERIMENTS.md quotes).  ``--quick`` shrinks batch/iterations for CI.
+
+Throughput ratios, not absolute times, are the contract: the regression
+gate (``benchmarks/check_regression.py``) compares ``speedup`` — a
+within-run ratio that is robust to how fast the machine itself is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import Executor
+from repro.zoo import alexnet
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The ablation ladder (plus the eager-offload full stack): the same
+#: configurations the equivalence tests prove bit-identical under replay.
+CONFIGS = [
+    ("baseline", RuntimeConfig.baseline),
+    ("liveness", RuntimeConfig.liveness_only),
+    ("liveness+utp", RuntimeConfig.liveness_offload),
+    ("superneurons", RuntimeConfig.superneurons),
+    ("superneurons-eager",
+     lambda **kw: RuntimeConfig.superneurons(use_tensor_cache=False, **kw)),
+]
+
+
+def _measure(make_config, replay: bool, batch: int, iters: int,
+             repeats: int) -> float:
+    """Best per-iteration seconds over ``repeats`` runs (min is the
+    standard noise-robust estimator for wall-clock microbenchmarks)."""
+    best = float("inf")
+    for _ in range(repeats):
+        net = alexnet(batch=batch, image=227)
+        with Executor(net, make_config(concrete=False,
+                                       steady_state_replay=replay)) as ex:
+            # warm-up: the recording iteration (and one replayed one so
+            # the compile cost itself is outside the timed window)
+            ex.run_iteration(0)
+            ex.run_iteration(1)
+            t0 = time.perf_counter()
+            for i in range(2, iters + 2):
+                ex.run_iteration(i)
+            dt = (time.perf_counter() - t0) / iters
+            if replay:
+                assert ex.replayed_iterations == iters + 1, \
+                    "replay never engaged — measuring the wrong thing"
+        best = min(best, dt)
+    return best
+
+
+def run(batch: int, iters: int, repeats: int) -> list:
+    records = []
+    for name, make_config in CONFIGS:
+        fresh = _measure(make_config, False, batch, iters, repeats)
+        replay = _measure(make_config, True, batch, iters, repeats)
+        records.append({
+            "bench": "steady_state_replay",
+            "net": "alexnet",
+            "batch": batch,
+            "iters": iters,
+            "config": name,
+            "fresh_ms_per_iter": round(fresh * 1e3, 4),
+            "replay_ms_per_iter": round(replay * 1e3, 4),
+            "fresh_iters_per_sec": round(1.0 / fresh, 2),
+            "replay_iters_per_sec": round(1.0 / replay, 2),
+            "speedup": round(fresh / replay, 3),
+        })
+    return records
+
+
+def render(records: list) -> str:
+    from repro.analysis.report import format_table
+    rows = [
+        [r["config"], f"{r['fresh_ms_per_iter']:.3f}",
+         f"{r['replay_ms_per_iter']:.3f}",
+         f"{r['fresh_iters_per_sec']:.0f}", f"{r['replay_iters_per_sec']:.0f}",
+         f"{r['speedup']:.2f}x"]
+        for r in records
+    ]
+    return format_table(
+        "Steady-state replay: per-iteration cost, fresh vs compiled "
+        f"(alexnet batch={records[0]['batch']}, simulated)",
+        ["config", "fresh ms", "replay ms", "fresh it/s", "replay it/s",
+         "speedup"],
+        rows,
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output", default=str(REPO_ROOT / "BENCH_speed.json"),
+                    help="where to write the JSON trajectory record")
+    ap.add_argument("--batch", type=int, default=32)
+    ap.add_argument("--iters", type=int, default=60,
+                    help="timed iterations per arm")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="repeat runs; the fastest is reported")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke settings (smaller batch, fewer iters)")
+    args = ap.parse_args()
+    if args.quick:
+        args.batch, args.iters, args.repeats = 16, 30, 2
+
+    records = run(args.batch, args.iters, args.repeats)
+    text = render(records)
+    print(text)
+
+    Path(args.output).write_text(json.dumps(records, indent=2) + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "steady_state.txt").write_text(text + "\n")
+    print(f"\nwrote {args.output}")
+
+    slow = [r["config"] for r in records if r["speedup"] < 1.0]
+    if slow:
+        print(f"FAIL: replay is slower than the fresh path for {slow}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Gate the steady-state throughput trajectory against its baseline.
+
+CI runs ``bench_steady_state.py`` on whatever runner it gets, so
+absolute wall-clock is meaningless across runs.  The *speedup* column —
+replayed vs fresh iterations on the same machine in the same process —
+is a within-run ratio and therefore stable; a real regression in the
+replay fast path (a hook dispatch creeping back in, a compiled schedule
+falling back to the slow path) shows up as that ratio collapsing.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_speed.json \
+        benchmarks/baselines/BENCH_speed.json --tolerance 0.20
+
+Exits non-zero when any config's speedup fell more than ``tolerance``
+(fractional) below the committed baseline's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    records = json.loads(Path(path).read_text())
+    return {r["config"]: r for r in records}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly measured BENCH_speed.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_speed.json")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional drop in speedup (default 20%%)")
+    args = ap.parse_args()
+
+    current, baseline = load(args.current), load(args.baseline)
+    failures = []
+    for config, base in baseline.items():
+        cur = current.get(config)
+        if cur is None:
+            failures.append(f"{config}: missing from current run")
+            continue
+        for knob in ("net", "batch", "iters"):
+            if cur.get(knob) != base.get(knob):
+                failures.append(
+                    f"{config}: workload mismatch — {knob}="
+                    f"{cur.get(knob)!r} vs baseline {base.get(knob)!r}; "
+                    "ratios are only comparable on the same workload")
+        floor = base["speedup"] * (1.0 - args.tolerance)
+        status = "ok" if cur["speedup"] >= floor else "REGRESSION"
+        print(f"{config:20s} baseline {base['speedup']:.2f}x  "
+              f"current {cur['speedup']:.2f}x  floor {floor:.2f}x  {status}")
+        if cur["speedup"] < floor:
+            failures.append(
+                f"{config}: speedup {cur['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x "
+                f"- {args.tolerance:.0%})")
+    if failures:
+        print("\n".join(["", "benchmark regression gate FAILED:"] + failures),
+              file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

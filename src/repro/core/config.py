@@ -65,6 +65,15 @@ class RuntimeConfig:
     # performance
     workspace_policy: WorkspacePolicy = WorkspacePolicy.DYNAMIC
 
+    # steady-state iteration replay: after the first iteration of a
+    # fixed topology, plan-stable policies are compiled into an
+    # IterationPlan the executor replays with no hook dispatch
+    # (bit-identical results; Session.with_replay(False) opts out).
+    steady_state_replay: bool = True
+    # per-step StepTrace records (Fig. 10).  Long training runs can
+    # switch them off so result objects hold O(1) memory per iteration.
+    collect_traces: bool = True
+
     # external memory pools for the UTP, fastest first (paper Fig. 7).
     # None = the default single local-CPU-DRAM pool.
     external_pools: Optional[tuple] = None

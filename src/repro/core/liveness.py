@@ -59,6 +59,15 @@ class LivenessPlan:
     def releases(self, step_index: int) -> List[Tensor]:
         return self.gpu_release_after.get(step_index, [])
 
+    def freeze(self) -> Dict[int, tuple]:
+        """Immutable per-step free lists for the compiled IterationPlan.
+
+        A snapshot (not a view): replay executes these tuples directly,
+        so later mutation of ``free_after`` only affects iterations
+        whose plan is compiled afterwards.
+        """
+        return {i: tuple(ts) for i, ts in self.free_after.items() if ts}
+
 
 class LivenessAnalysis:
     """Builds in/out sets and the executor plan for one route + config."""

@@ -51,6 +51,7 @@ from repro.core import config as _config
 from repro.core.cache import TensorCache
 from repro.core.config import RecomputeStrategy, RuntimeConfig
 from repro.core.workspace import WorkspaceChoice, WorkspaceSelector
+from repro.device.timeline import Stream
 from repro.graph.route import Phase, Step
 from repro.layers.base import Layer, LayerContext
 from repro.layers.conv import Conv2D
@@ -203,7 +204,6 @@ class StepContext:
         self._ex._force_reap_one()
 
     def submit_compute(self, duration: float, label: str = ""):
-        from repro.device.timeline import Stream
         return self._ex.timeline.submit(Stream.COMPUTE, duration, label)
 
 
@@ -239,6 +239,31 @@ class MemoryPolicy:
 
     def bind(self, ctx: StepContext) -> None:
         """Called once when the executor is built (plans exist)."""
+
+    # -- steady-state plan compilation ---------------------------------------
+    def is_plan_stable(self, ctx: StepContext) -> bool:
+        """Are this policy's per-step decisions fixed by the topology?
+
+        Returning True lets the executor compile the decisions once
+        (via :meth:`compile_plan`) and *stop dispatching* this policy's
+        per-step hooks on steady-state iterations — the compiled
+        :class:`~repro.core.plan.IterationPlan` replays them instead.
+        Demand hooks (``on_backward_need``, ``on_memory_pressure``) and
+        the iteration brackets are always dispatched regardless.
+
+        Default False: unknown policies keep full hook dispatch.
+        """
+        return False
+
+    def compile_plan(self, ctx: StepContext):
+        """Freeze this policy's per-step decisions for replay.
+
+        Called after at least one fresh iteration has run (so observed
+        schedules — workspace picks, recompute activity — exist).
+        Returns a :class:`~repro.core.plan.PolicyPlan` or None (None
+        asserts the policy does nothing per-step and is elided).
+        """
+        return None
 
     # -- lifecycle hooks ----------------------------------------------------
     def on_iteration_start(self, ctx: StepContext) -> None: ...
@@ -346,6 +371,16 @@ class LivenessPolicy(MemoryPolicy):
                 continue  # eager offload in flight; reap handles it
             ctx.discard(t)
 
+    # -- steady-state compilation --------------------------------------------
+    def is_plan_stable(self, ctx: StepContext) -> bool:
+        # The free lists come straight from the compiled LivenessPlan:
+        # per-topology by construction (paper §3.2).
+        return True
+
+    def compile_plan(self, ctx: StepContext):
+        from repro.core.plan import PolicyPlan
+        return PolicyPlan(key=self.key, step_frees=ctx.plan.freeze())
+
 
 @register_policy
 class OffloadCachePolicy(MemoryPolicy):
@@ -427,25 +462,33 @@ class OffloadCachePolicy(MemoryPolicy):
                 # the next step will trigger a segment recompute; start
                 # fetching its anchor now so the chain doesn't stall
                 producer = ctx.net.layers[t.producer]
-                seg = ctx.recompute_plan.segment_of.get(producer.layer_id)
-                if seg is not None and seg.anchor.output is not None \
-                        and seg.anchor.output.placement is Placement.HOST:
-                    ctx.prefetch(seg.anchor.output)
+                anchor = ctx.recompute_plan.anchor_output_of(
+                    producer.layer_id)
+                if anchor is not None \
+                        and anchor.placement is Placement.HOST:
+                    ctx.prefetch(anchor)
 
     # -- cache membership ----------------------------------------------------
+    # Every membership/counter hook is gated on cache_mode: in eager
+    # mode the cache is dormant and must stay silent — previously
+    # ``touch`` ticked a miss per tensor access, so eager runs reported
+    # a meaningless, ever-growing miss count.
     def on_tensor_resident(self, ctx: StepContext, t: Tensor,
                            source: str) -> None:
         if self.cache_mode and t.kind is TensorKind.DATA:
             self.cache.insert(t)
 
     def on_tensor_access(self, ctx: StepContext, t: Tensor) -> None:
-        self.cache.touch(t)
+        if self.cache_mode:
+            self.cache.touch(t)
 
     def on_tensor_dead(self, ctx: StepContext, t: Tensor) -> None:
-        self.cache.remove(t)
+        if self.cache_mode:
+            self.cache.remove(t)
 
     def on_tensor_released(self, ctx: StepContext, t: Tensor) -> None:
-        self.cache.remove(t)
+        if self.cache_mode:
+            self.cache.remove(t)
 
     # -- pressure cascade ----------------------------------------------------
     def on_memory_pressure(
@@ -480,6 +523,54 @@ class OffloadCachePolicy(MemoryPolicy):
     # drains in-flight copies itself, so a stack without this policy —
     # or a custom one that offloads directly — can never leak pendings.)
 
+    # -- steady-state compilation --------------------------------------------
+    def is_plan_stable(self, ctx: StepContext) -> bool:
+        # Both modes have a static *step* schedule: eager offloads
+        # checkpoint outputs after fixed kernels, and prefetch-ahead
+        # candidates come from the static read sets (the host-residency
+        # test stays a live guard in the compiled op).  Cache mode
+        # additionally keeps its tensor hooks live (see compile_plan):
+        # LRU order, hit/miss counters, and pressure-driven eviction
+        # only exist by observing every residency event.
+        return True
+
+    def compile_plan(self, ctx: StepContext):
+        from repro.core.plan import PolicyPlan
+        steps = ctx.route.steps
+        offload_types = ctx.config.offload_types
+        offloads = {}
+        prefetch = {}
+        for step in steps:
+            if step.phase is Phase.FORWARD:
+                if not self.cache_mode \
+                        and step.layer.ltype in offload_types:
+                    offloads[step.index] = (step.layer.output,)
+                continue
+            nxt = step.index + 1
+            if nxt >= len(steps):
+                continue
+            entries = []
+            for t in ctx.reads_at(nxt, include_synthetic=False):
+                anchor = None
+                if ctx.recompute_plan is not None \
+                        and t.tensor_id in ctx.plan.recompute_covered:
+                    producer = ctx.net.layers[t.producer]
+                    anchor = ctx.recompute_plan.anchor_output_of(
+                        producer.layer_id)
+                entries.append((t, anchor))
+            if entries:
+                prefetch[step.index] = tuple(entries)
+        if self.cache_mode:
+            # no eager copies ⇒ nothing to reap before steps, nothing
+            # to register after them; membership/counter hooks stay
+            return PolicyPlan(
+                key=self.key, step_prefetch=prefetch,
+                keep_hooks=("on_tensor_resident", "on_tensor_access",
+                            "on_tensor_dead", "on_tensor_released"),
+            )
+        return PolicyPlan(key=self.key, reap_before_step=True,
+                          step_offloads=offloads, step_prefetch=prefetch)
+
 
 @register_policy
 class RecomputePolicy(MemoryPolicy):
@@ -502,6 +593,10 @@ class RecomputePolicy(MemoryPolicy):
         self._kept: Dict[int, Tuple[Tensor, int]] = {}
         self._materialized: Set[int] = set()  # id(segment anchors) done
         self._transient: List[Tensor] = []
+        # step index -> tensors the cleanup sweep discarded there (last
+        # fresh iteration, in discard order) — the schedule replay runs
+        # instead of dispatching after_step at all
+        self._cleanup_by_step: Dict[int, List[Tensor]] = {}
 
     @classmethod
     def from_config(cls, config: RuntimeConfig) -> "RecomputePolicy":
@@ -521,6 +616,8 @@ class RecomputePolicy(MemoryPolicy):
         self._kept.clear()
         self._materialized.clear()
         self._transient.clear()
+        # fresh dict, never mutate one a compiled plan may have frozen
+        self._cleanup_by_step = {}
 
     def on_backward_need(self, ctx: StepContext, step: Step,
                          missing: List[Tensor]) -> None:
@@ -528,9 +625,13 @@ class RecomputePolicy(MemoryPolicy):
 
     def after_step(self, ctx: StepContext, step: Step) -> None:
         """Free transients and expired speed-centric persistents."""
+        if not self._transient and not self._kept:
+            return
+        dropped: List[Tensor] = []
         for t in self._transient:
             if t.is_live:
                 ctx.discard(t)
+                dropped.append(t)
         self._transient.clear()
         expired = [tid for tid, (_t, fa) in self._kept.items()
                    if fa <= step.index]
@@ -538,8 +639,26 @@ class RecomputePolicy(MemoryPolicy):
             t, _fa = self._kept.pop(tid)
             if t.is_live:
                 ctx.discard(t)
+                dropped.append(t)
+        if dropped:
+            self._cleanup_by_step[step.index] = dropped
 
-    # -- recomputation -------------------------------------------------------
+    # -- steady-state compilation --------------------------------------------
+    def is_plan_stable(self, ctx: StepContext) -> bool:
+        # Segment re-execution is demand-driven mechanics (triggered by
+        # ``on_backward_need``, which always dispatches); the only
+        # per-step hook is the cleanup sweep, whose discard schedule is
+        # fixed by the recompute plan.  Stable: replay runs the recorded
+        # discards (still guarded by liveness) with no dispatch at all.
+        return True
+
+    def compile_plan(self, ctx: StepContext):
+        from repro.core.plan import PolicyPlan
+        return PolicyPlan(
+            key=self.key,
+            step_discards={i: tuple(ts)
+                           for i, ts in self._cleanup_by_step.items()},
+        )
     def ensure(self, ctx: StepContext, missing: List[Tensor]) -> None:
         """Make every tensor in ``missing`` resident by recomputation."""
         plan = ctx.recompute_plan
@@ -672,6 +791,9 @@ class WorkspacePolicy(MemoryPolicy):
     def __init__(self, mode: Optional[_config.WorkspacePolicy] = None) -> None:
         self.mode = mode if mode is not None else _config.WorkspacePolicy.DYNAMIC
         self.selector: Optional[WorkspaceSelector] = None
+        # step index -> the selection of the last fresh iteration
+        # (pre-fallback), frozen into the IterationPlan on compile
+        self._pick_by_step: Dict[int, WorkspaceChoice] = {}
 
     @classmethod
     def from_config(cls, config: RuntimeConfig) -> "WorkspacePolicy":
@@ -689,12 +811,18 @@ class WorkspacePolicy(MemoryPolicy):
     def bind(self, ctx: StepContext) -> None:
         self.selector = WorkspaceSelector(self.mode, ctx.model)
 
+    def on_iteration_start(self, ctx: StepContext) -> None:
+        # The choice log is per-iteration: without this reset it grew
+        # without bound across run_iteration calls on one executor.
+        self.selector.reset()
+
     def before_compute(self, ctx: StepContext, step: Step) -> None:
         layer = step.layer
         if not isinstance(layer, Conv2D):
             return
         phase = "forward" if step.phase is Phase.FORWARD else "backward"
         choice = self.selector.select(layer, ctx.free_bytes, phase)
+        self._pick_by_step[step.index] = choice
         if choice.assigned_ws > 0:
             scratch = ctx.alloc_scratch(choice.assigned_ws,
                                         tag=f"ws:{layer.name}")
@@ -706,9 +834,23 @@ class WorkspacePolicy(MemoryPolicy):
                     ctx.free_bytes,
                     choice.max_speed_algo,
                 )
-                self.selector.choices[-1] = choice
+                self.selector.replace_last(choice)
         if phase == "forward":
             ctx.set_duration(layer.sim_time_forward(ctx.model, choice.algo))
         else:
             ctx.set_duration(layer.sim_time_backward(ctx.model, choice.algo))
         ctx.set_workspace(choice)
+
+    # -- steady-state compilation --------------------------------------------
+    def is_plan_stable(self, ctx: StepContext) -> bool:
+        # The free-byte landscape at each step is identical on every
+        # iteration of a fixed topology (the allocator returns to
+        # params-only at the barrier), so the per-step selection
+        # repeats.  Replay reuses the recorded pick but re-runs the
+        # scratch reservation and its fragmentation fallback live.
+        return True
+
+    def compile_plan(self, ctx: StepContext):
+        from repro.core.plan import PolicyPlan
+        return PolicyPlan(key=self.key,
+                          workspace_picks=dict(self._pick_by_step))

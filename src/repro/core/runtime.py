@@ -38,6 +38,12 @@ import numpy as np
 from repro.core.cache import TensorCache
 from repro.core.config import RuntimeConfig
 from repro.core.liveness import LivenessAnalysis, LivenessPlan
+from repro.core.plan import (
+    SCHEDULABLE_HOOKS,
+    CompiledStep,
+    IterationPlan,
+    compile_iteration_plan,
+)
 from repro.core.policy import MemoryPolicy, StepContext, resolve_policies
 from repro.core.recompute import plan_segments
 from repro.core.workspace import WorkspaceChoice
@@ -174,7 +180,9 @@ class Executor:
         self.gpu = SimulatedGPU(self.model)
         if cfg.gpu_capacity is not None:
             self.gpu.capacity = cfg.gpu_capacity
-        self.timeline = Timeline()
+        # no op records: the per-op log would grow without bound across
+        # iterations (introspection uses traces/stats, not the log)
+        self.timeline = Timeline(record_ops=False)
         self.dma = DMAEngine(self.timeline, self.model, pinned=cfg.pinned_host)
         self.fabric = MemoryFabric(cfg.external_pools,
                                    pinned=cfg.pinned_host)
@@ -206,6 +214,21 @@ class Executor:
         for p in self.policies:
             p.bind(self._ctx)
 
+        # hook listener tables: per hook, the bound methods of the
+        # policies that actually override it, in stack order — a hook
+        # nobody implements costs one empty-tuple loop, not a full
+        # stack walk
+        self._listeners = self._build_listener_table()
+        self._active_listeners = self._listeners
+        self._replay_listeners: Optional[Dict[str, tuple]] = None
+
+        # steady-state replay state
+        self._replay_enabled = cfg.steady_state_replay
+        self._collect_traces = cfg.collect_traces
+        self._iteration_plan: Optional[IterationPlan] = None
+        self._fresh_iterations = 0
+        self.replayed_iterations = 0
+
         # runtime state
         self._alloc_of: Dict[int, Allocation] = {}
         self._pending: List[_PendingOffload] = []
@@ -214,6 +237,16 @@ class Executor:
         self._stall = 0.0
         self.param_bytes = 0
         self._allocate_params()
+        # static end-of-iteration sweep candidates (tensors are fixed
+        # objects per net; membership in _alloc_of is what varies)
+        self._cleanup_tensors = [
+            t for l in self.net.layers
+            for t in ([l.output, l.grad_output] + l.param_grads)
+            if t is not None
+        ]
+        self._hosted_candidates = [
+            l.output for l in self.net.layers if l.output is not None
+        ]
 
     # -------------------------------------------------------------- policies
     def _find_policy(self, key: str) -> Optional[MemoryPolicy]:
@@ -222,10 +255,36 @@ class Executor:
                 return p
         return None
 
+    _DISPATCH_HOOKS = SCHEDULABLE_HOOKS + (
+        "on_iteration_start", "on_iteration_end", "on_backward_need",
+    )
+
+    @staticmethod
+    def _overrides(p: MemoryPolicy, hook: str) -> bool:
+        return getattr(type(p), hook) is not getattr(MemoryPolicy, hook)
+
+    def _build_listener_table(
+        self, skip_hooks: Optional[Dict[int, Set[str]]] = None
+    ) -> Dict[str, tuple]:
+        """Bound-method dispatch lists; ``skip_hooks`` maps a policy id
+        to the schedulable hooks compiled away for it (demand hooks and
+        iteration brackets always keep every overrider)."""
+        table: Dict[str, tuple] = {}
+        skip_hooks = skip_hooks or {}
+        for hook in self._DISPATCH_HOOKS:
+            fns = []
+            for p in self.policies:
+                if hook in skip_hooks.get(id(p), ()):
+                    continue
+                if self._overrides(p, hook):
+                    fns.append(getattr(p, hook))
+            table[hook] = tuple(fns)
+        return table
+
     def _dispatch(self, hook: str, *args) -> None:
         ctx = self._ctx
-        for p in self.policies:
-            getattr(p, hook)(ctx, *args)
+        for fn in self._active_listeners[hook]:
+            fn(ctx, *args)
 
     @property
     def cache(self) -> TensorCache:
@@ -299,27 +358,33 @@ class Executor:
         """Allocate GPU bytes for ``t``, reaping/evicting under pressure."""
         if t.tensor_id in self._alloc_of:
             return self._alloc_of[t.tensor_id]
-        a = self._try_alloc(t.nbytes, t.name)
+        try:  # fast path first: pressure handling costs a call per alloc
+            a = self.allocator.alloc(t.nbytes, t.name)
+        except OutOfMemoryError:
+            a = self._alloc_under_pressure(t.nbytes, t.name)
         self._alloc_of[t.tensor_id] = a
         t.placement = Placement.GPU
-        if t.kind in (TensorKind.DATA, TensorKind.GRAD):
+        kind = t.kind
+        if kind is TensorKind.DATA or kind is TensorKind.GRAD:
             self._live.add(t.tensor_id)
-        self._dispatch("on_tensor_resident", t, "alloc")
+        if self._active_listeners["on_tensor_resident"]:
+            self._dispatch("on_tensor_resident", t, "alloc")
         return a
 
     def _try_alloc(self, nbytes: int, tag: str) -> Allocation:
         try:
             return self.allocator.alloc(nbytes, tag)
         except OutOfMemoryError:
-            pass
+            return self._alloc_under_pressure(nbytes, tag)
 
+    def _alloc_under_pressure(self, nbytes: int, tag: str) -> Allocation:
+        """The slow path: each policy in stack order may free bytes."""
         def retry() -> Optional[Allocation]:
             try:
                 return self.allocator.alloc(nbytes, tag)
             except OutOfMemoryError:
                 return None
 
-        # under pressure, each policy in stack order may free bytes
         for p in self.policies:
             a = p.on_memory_pressure(self._ctx, nbytes, tag, retry)
             if a is not None:
@@ -332,7 +397,8 @@ class Executor:
         a = self._alloc_of.pop(t.tensor_id, None)
         if a is not None:
             self.allocator.free(a)
-        self._dispatch("on_tensor_released", t)
+        if self._active_listeners["on_tensor_released"]:
+            self._dispatch("on_tensor_released", t)
         if t.host_resident:
             # keep the bytes: they may still be device-side if the D2H
             # copy that made the host reservation has not been reaped
@@ -351,12 +417,14 @@ class Executor:
         a = self._alloc_of.pop(t.tensor_id, None)
         if a is not None:
             self.allocator.free(a)
-        self._dispatch("on_tensor_dead", t)
+        if self._active_listeners["on_tensor_dead"]:
+            self._dispatch("on_tensor_dead", t)
         if t.host_resident:
             self.fabric.evict(t.tensor_id)
             t.host_resident = False
         self.store.drop(t)
-        self._arrivals.pop(t.tensor_id, None)
+        if self._arrivals:
+            self._arrivals.pop(t.tensor_id, None)
         t.placement = Placement.FREED
         self._live.discard(t.tensor_id)
 
@@ -392,6 +460,8 @@ class Executor:
 
     def _reap_offloads(self) -> None:
         """Free GPU copies whose D2H transfer has completed by now."""
+        if not self._pending:
+            return
         now = self.timeline.now(Stream.COMPUTE)
         remaining: List[_PendingOffload] = []
         for p in self._pending:
@@ -412,7 +482,8 @@ class Executor:
         if a is not None:
             self.allocator.free(a)
         self.store.move_to_host(t)
-        self._dispatch("on_tensor_released", t)
+        if self._active_listeners["on_tensor_released"]:
+            self._dispatch("on_tensor_released", t)
         t.placement = Placement.HOST
 
     def _prefetch_async(self, t: Tensor) -> bool:
@@ -431,16 +502,19 @@ class Executor:
         self._arrivals[t.tensor_id] = ev
         t.placement = Placement.GPU
         self.store.move_to_gpu(t)
-        self._dispatch("on_tensor_resident", t, "prefetch")
+        if self._active_listeners["on_tensor_resident"]:
+            self._dispatch("on_tensor_resident", t, "prefetch")
         return True
 
     def _make_gpu_resident(self, t: Tensor) -> None:
         """Block until ``t`` is usable on the GPU."""
         if t.placement is Placement.GPU:
-            ev = self._arrivals.pop(t.tensor_id, None)
-            if ev is not None:
-                self._stall += self.timeline.sync(Stream.COMPUTE, ev)
-            self._dispatch("on_tensor_access", t)
+            if self._arrivals:
+                ev = self._arrivals.pop(t.tensor_id, None)
+                if ev is not None:
+                    self._stall += self.timeline.sync(Stream.COMPUTE, ev)
+            if self._active_listeners["on_tensor_access"]:
+                self._dispatch("on_tensor_access", t)
             return
         if t.placement is Placement.HOST:
             a = self._gpu_alloc_tensor(t)  # may evict/reap
@@ -464,6 +538,32 @@ class Executor:
         if self.concrete:
             self.store.put(t, np.zeros(t.shape, dtype=np.float32))
 
+    # ------------------------------------------------- steady-state replay
+    @property
+    def iteration_plan(self) -> Optional[IterationPlan]:
+        """The compiled replay plan (None until one steady-state
+        iteration has been requested after a fresh recording one)."""
+        return self._iteration_plan
+
+    def invalidate_plan(self) -> None:
+        """Drop the compiled plan; the next iteration records afresh."""
+        self._iteration_plan = None
+        self._replay_listeners = None
+        self._fresh_iterations = 0  # require a new recording iteration
+
+    def _compile_plan(self) -> None:
+        plan = compile_iteration_plan(self)
+        self._iteration_plan = plan
+        schedulable = set(SCHEDULABLE_HOOKS)
+        skip_hooks: Dict[int, Set[str]] = {}
+        for p in self.policies:
+            if id(p) not in plan.policy_plans:
+                continue  # dynamic: keeps every hook
+            pp = plan.policy_plans[id(p)]
+            keep = set(pp.keep_hooks) if pp is not None else set()
+            skip_hooks[id(p)] = schedulable - keep
+        self._replay_listeners = self._build_listener_table(skip_hooks)
+
     # ------------------------------------------------------------------ stepping
     def run_iteration(
         self,
@@ -471,6 +571,14 @@ class Executor:
         optimizer=None,
     ) -> IterationResult:
         ctx = self._ctx
+        replaying = False
+        if self._replay_enabled:
+            if self._iteration_plan is None and self._fresh_iterations:
+                self._compile_plan()
+            replaying = self._iteration_plan is not None
+        self._active_listeners = (
+            self._replay_listeners if replaying else self._listeners
+        )
         ctx._begin_iteration(iteration, LayerContext(iteration=iteration,
                                                      training=True))
         self._dispatch("on_iteration_start")
@@ -483,32 +591,13 @@ class Executor:
         extra0 = self._extra_forwards()
         stall0 = self._stall
         ws_start = len(self._workspace_choices())
-        traces: List[StepTrace] = []
 
-        for step in self.route.steps:
-            ctx._begin_step(step)
-            self._dispatch("before_step", step)
-            if step.phase is Phase.FORWARD:
-                ws = self._forward_step(step, ctx)
-            else:
-                ws = self._backward_step(step, ctx, optimizer)
-            high = self.allocator.used_bytes
-            # reclamation: eager-offload registration, liveness frees,
-            # recompute cleanup — in stack order — then the settled hook
-            # (prefetch-ahead) once the frees have landed
-            self._dispatch("after_step", step)
-            self._dispatch("on_step_settled", step)
-            traces.append(StepTrace(
-                index=step.index,
-                label=f"{step.layer.name}:{step.phase.value[0]}",
-                phase=step.phase.value,
-                used_high=high,
-                used_settled=self.allocator.used_bytes,
-                activation_high=high - self.param_bytes,
-                activation_settled=self.allocator.used_bytes - self.param_bytes,
-                live_tensors=len(self._live),
-                workspace=ws,
-            ))
+        if replaying:
+            traces = self._replay_steps(ctx, optimizer)
+            self.replayed_iterations += 1
+        else:
+            traces = self._fresh_steps(ctx, optimizer)
+            self._fresh_iterations += 1
 
         # iteration barrier: drain copies, free whatever is left
         self._dispatch("on_iteration_end")
@@ -542,21 +631,161 @@ class Executor:
             workspace_choices=self._workspace_choices()[ws_start:],
         )
 
+    def _fresh_steps(self, ctx: StepContext, optimizer) -> List[StepTrace]:
+        """The recording path: full hook dispatch, decisions re-derived."""
+        traces: List[StepTrace] = []
+        collect = self._collect_traces
+        for step in self.route.steps:
+            ctx._begin_step(step)
+            self._dispatch("before_step", step)
+            if step.phase is Phase.FORWARD:
+                ws = self._forward_step(step, ctx)
+            else:
+                ws = self._backward_step(step, ctx, optimizer)
+            high = self.allocator.used_bytes
+            # reclamation: eager-offload registration, liveness frees,
+            # recompute cleanup — in stack order — then the settled hook
+            # (prefetch-ahead) once the frees have landed
+            self._dispatch("after_step", step)
+            self._dispatch("on_step_settled", step)
+            if collect:
+                traces.append(StepTrace(
+                    index=step.index,
+                    label=f"{step.layer.name}:{step.phase.value[0]}",
+                    phase=step.phase.value,
+                    used_high=high,
+                    used_settled=self.allocator.used_bytes,
+                    activation_high=high - self.param_bytes,
+                    activation_settled=self.allocator.used_bytes
+                    - self.param_bytes,
+                    live_tensors=len(self._live),
+                    workspace=ws,
+                ))
+        return traces
+
+    def _replay_steps(self, ctx: StepContext, optimizer) -> List[StepTrace]:
+        """The steady-state path: compiled actions, no stable-policy
+        dispatch, bit-identical mechanics."""
+        traces: List[StepTrace] = []
+        collect = self._collect_traces
+        allocator = self.allocator
+        param_bytes = self.param_bytes
+        for cs in self._iteration_plan.steps:
+            step = cs.step
+            ctx._begin_step(step)
+            for fn in cs.before_ops:
+                fn(ctx, step)
+            if cs.is_forward:
+                ws = self._replay_forward(cs, ctx)
+            else:
+                ws = self._replay_backward(cs, ctx, optimizer)
+            high = allocator.used_bytes
+            for fn in cs.after_ops:
+                fn(ctx, step)
+            for fn in cs.settled_ops:
+                fn(ctx, step)
+            if collect:
+                settled = allocator.used_bytes
+                traces.append(StepTrace(
+                    index=step.index,
+                    label=cs.trace_label,
+                    phase=cs.phase_value,
+                    used_high=high,
+                    used_settled=settled,
+                    activation_high=high - param_bytes,
+                    activation_settled=settled - param_bytes,
+                    live_tensors=len(self._live),
+                    workspace=ws,
+                ))
+        return traces
+
+    def _replay_forward(self, cs: CompiledStep, ctx: StepContext
+                        ) -> Optional[WorkspaceChoice]:
+        layer = cs.layer
+        for t in cs.reads:
+            self._make_gpu_resident(t)
+            t.locked = True
+        out = cs.output
+        self._gpu_alloc_tensor(out)
+        out.locked = True
+
+        for fn in cs.compute_ops:
+            fn(ctx, cs.step)
+        duration = ctx.step_duration if ctx.step_duration is not None \
+            else cs.duration
+        ev = self.timeline.submit(Stream.COMPUTE, duration, cs.submit_label)
+        ctx.last_compute_event = ev
+
+        if self.concrete:
+            ins = [self.store.get_required(p.output) for p in layer.prev]
+            val = layer.forward(ins, ctx.layer_ctx)
+            self.store.put(out, val)
+            if cs.has_running_stats and ctx.layer_ctx.training:
+                layer.update_running_stats(ins[0])
+
+        self._free_step_scratch(ctx)
+        for t in cs.reads:
+            t.locked = False
+        out.locked = False
+        return ctx.step_workspace
+
+    def _replay_backward(self, cs: CompiledStep, ctx: StepContext, optimizer
+                         ) -> Optional[WorkspaceChoice]:
+        if cs.is_data:
+            return None
+        layer = cs.layer
+        missing = [t for t in cs.reads if not t.is_live]
+        if missing:
+            self._dispatch("on_backward_need", cs.step, missing)
+            still = [t for t in missing if not t.is_live]
+            if still:
+                raise RuntimeError(
+                    f"backward of {layer.name} needs freed tensors "
+                    f"{[t.name for t in still]} but recomputation is off"
+                )
+        for t in cs.reads:
+            self._make_gpu_resident(t)
+            t.locked = True
+
+        if cs.has_grad_in:
+            self._ensure_grad(layer.grad_output)
+            layer.grad_output.locked = True
+        for p in cs.grad_targets:
+            self._ensure_grad(p.grad_output)
+            p.grad_output.locked = True
+        for g in cs.param_grads:
+            self._gpu_alloc_tensor(g)
+
+        for fn in cs.compute_ops:
+            fn(ctx, cs.step)
+        duration = ctx.step_duration if ctx.step_duration is not None \
+            else cs.duration
+        ev = self.timeline.submit(Stream.COMPUTE, duration, cs.submit_label)
+        ctx.last_compute_event = ev
+
+        if self.concrete:
+            self._backward_values(layer, ctx.layer_ctx, optimizer)
+
+        self._free_step_scratch(ctx)
+        for t in cs.reads:
+            t.locked = False
+        if cs.has_grad_in:
+            layer.grad_output.locked = False
+        for p in cs.grad_targets:
+            p.grad_output.locked = False
+        return ctx.step_workspace
+
     def _end_of_iteration_cleanup(self) -> None:
-        leftovers = [
-            t for l in self.net.layers
-            for t in ([l.output, l.grad_output] + l.param_grads)
-            if t is not None and t.tensor_id in self._alloc_of
-        ]
-        for t in leftovers:
-            self._discard(t)
-        hosted = [
-            t for l in self.net.layers
-            for t in [l.output]
-            if t is not None and t.host_resident
-        ]
-        for t in hosted:
-            self._discard(t)
+        for t in self._cleanup_tensors:
+            if t.tensor_id in self._alloc_of:
+                self._discard(t)
+        for t in self._hosted_candidates:
+            if t.host_resident:
+                self._discard(t)
+        # prefetch arrival events are all complete after the barrier;
+        # drop them so no stale entry can satisfy a later iteration's
+        # in-flight check without a copy actually running
+        self._arrivals.clear()
         residual = self.allocator.used_bytes - self.param_bytes
         if residual != 0:
             raise RuntimeError(

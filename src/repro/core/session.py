@@ -50,6 +50,7 @@ class Session:
         self._config = config if config is not None else RuntimeConfig()
         self._extra_policies: List[MemoryPolicy] = []
         self._executor: Optional[Executor] = None
+        self._max_history: Optional[int] = None
         self.results: List[IterationResult] = []
 
     # ------------------------------------------------------------- building
@@ -114,6 +115,29 @@ class Session:
             setattr(self._config, k, v)
         return self
 
+    def with_replay(self, enabled: bool = True) -> "Session":
+        """Opt in/out of steady-state iteration replay.
+
+        Replay is on by default: after the first iteration the compiled
+        :class:`~repro.core.plan.IterationPlan` is replayed with no
+        hook dispatch for plan-stable policies (bit-identical results).
+        ``with_replay(False)`` forces every iteration down the fresh
+        planning path — useful for A/B benchmarks and for custom
+        policies whose behavior must be observed every step.
+        """
+        self._require_unbuilt("change replay mode")
+        self._config.steady_state_replay = enabled
+        return self
+
+    def with_history(self, max_results: Optional[int]) -> "Session":
+        """Cap ``self.results`` to the most recent ``max_results``
+        entries (None = unbounded).  Million-iteration runs keep steady
+        memory: each IterationResult holds per-step traces."""
+        if max_results is not None and max_results < 0:
+            raise ValueError("max_results must be >= 0 or None")
+        self._max_history = max_results
+        return self
+
     # ------------------------------------------------------------ inspection
     @property
     def config(self) -> RuntimeConfig:
@@ -146,6 +170,9 @@ class Session:
                       optimizer=None) -> IterationResult:
         res = self.executor.run_iteration(iteration, optimizer=optimizer)
         self.results.append(res)
+        if self._max_history is not None \
+                and len(self.results) > self._max_history:
+            del self.results[:len(self.results) - self._max_history]
         return res
 
     def run(self, iters: int = 1, optimizer=None,

@@ -62,5 +62,18 @@ class WorkspaceSelector:
         self.choices.append(choice)
         return choice
 
+    def record(self, choice: WorkspaceChoice) -> WorkspaceChoice:
+        """Log a choice made outside :meth:`select` (the compiled
+        replay path applies frozen picks without re-selecting)."""
+        self.choices.append(choice)
+        return choice
+
+    def replace_last(self, choice: WorkspaceChoice) -> WorkspaceChoice:
+        """Overwrite the latest record (the fragmentation fallback)."""
+        self.choices[-1] = choice
+        return choice
+
     def reset(self) -> None:
+        """Per-iteration reset: the log is an iteration-scoped record,
+        not a lifetime accumulator."""
         self.choices.clear()

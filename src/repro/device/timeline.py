@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, NamedTuple, Optional
 
 
 class Stream(enum.Enum):
@@ -34,9 +34,13 @@ class Stream(enum.Enum):
     H2D = "h2d"      # prefetch engine
 
 
-@dataclass(frozen=True)
-class Event:
-    """Completion marker of one submitted op."""
+class Event(NamedTuple):
+    """Completion marker of one submitted op.
+
+    A NamedTuple, not a dataclass: events are minted on every kernel
+    and copy submission, and frozen-dataclass construction (one
+    ``object.__setattr__`` per field) is measurable on that path.
+    """
 
     event_id: int
     stream: Stream
@@ -61,11 +65,17 @@ class Timeline:
     wall-clock of the whole simulation (max over stream clocks).
     """
 
-    def __init__(self) -> None:
-        self._clock: Dict[Stream, float] = {s: 0.0 for s in Stream}
+    def __init__(self, record_ops: bool = True) -> None:
+        """``record_ops=False`` keeps the per-op log empty: clocks and
+        busy-time still accumulate, but long-running executors do not
+        grow an unbounded list of one record per submitted op."""
+        # keyed by Stream.value: str hashes are cached in the object,
+        # enum hashing is not — these dicts sit on the hottest path
+        self._clock: Dict[str, float] = {s.value: 0.0 for s in Stream}
         self._events = itertools.count(0)
         self._ops: List[_OpRecord] = []
-        self._busy: Dict[Stream, float] = {s: 0.0 for s in Stream}
+        self._busy: Dict[str, float] = {s.value: 0.0 for s in Stream}
+        self.record_ops = record_ops
 
     # -- submission -------------------------------------------------------
     def submit(
@@ -87,21 +97,46 @@ class Timeline:
         """
         if duration < 0:
             raise ValueError(f"negative duration {duration} for {label!r}")
-        start = max(self._clock[stream], not_before)
+        key = stream.value
+        start = self._clock[key]
+        if not_before > start:
+            start = not_before
         if after:
             for ev in after:
-                start = max(start, ev.time)
+                if ev.time > start:
+                    start = ev.time
         end = start + duration
-        self._clock[stream] = end
-        self._busy[stream] += duration
-        self._ops.append(_OpRecord(label, stream, start, end))
+        self._clock[key] = end
+        self._busy[key] += duration
+        if self.record_ops:
+            self._ops.append(_OpRecord(label, stream, start, end))
         return Event(next(self._events), stream, end, label)
+
+    def tick(self, stream: Stream, duration: float) -> None:
+        """Serialized host-side latency (mallocs/frees): advance the
+        stream's clock and busy-time without minting an event or an op
+        record.  Identical clock arithmetic to a dependency-free
+        :meth:`submit` whose event nobody waits on — just cheaper, for
+        the two-calls-per-allocation hot path."""
+        key = stream.value
+        self._clock[key] += duration
+        self._busy[key] += duration
+
+    def tick_compute(self, duration: float) -> None:
+        """:meth:`tick` on the compute stream, skipping even the enum
+        ``value`` descriptor — the allocator calls this twice per
+        allocation lifecycle."""
+        self._clock["compute"] += duration
+        self._busy["compute"] += duration
 
     def sync(self, stream: Stream, event: Event) -> float:
         """Block ``stream`` until ``event`` completes; returns stall time."""
-        stall = max(0.0, event.time - self._clock[stream])
-        self._clock[stream] = max(self._clock[stream], event.time)
-        return stall
+        key = stream.value
+        now = self._clock[key]
+        if event.time > now:
+            self._clock[key] = event.time
+            return event.time - now
+        return 0.0
 
     def sync_all(self) -> float:
         """Join every stream (end-of-iteration barrier); returns new now."""
@@ -116,7 +151,7 @@ class Timeline:
 
     # -- introspection ------------------------------------------------------
     def now(self, stream: Stream = Stream.COMPUTE) -> float:
-        return self._clock[stream]
+        return self._clock[stream.value]
 
     @property
     def elapsed(self) -> float:
@@ -124,7 +159,7 @@ class Timeline:
 
     def busy_time(self, stream: Stream) -> float:
         """Total work submitted to ``stream`` (ignores gaps)."""
-        return self._busy[stream]
+        return self._busy[stream.value]
 
     def ops(self, stream: Optional[Stream] = None) -> List[_OpRecord]:
         if stream is None:
@@ -132,6 +167,6 @@ class Timeline:
         return [op for op in self._ops if op.stream is stream]
 
     def reset(self) -> None:
-        self._clock = {s: 0.0 for s in Stream}
-        self._busy = {s: 0.0 for s in Stream}
+        self._clock = {s.value: 0.0 for s in Stream}
+        self._busy = {s.value: 0.0 for s in Stream}
         self._ops.clear()

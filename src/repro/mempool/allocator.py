@@ -9,8 +9,7 @@ is why it hurts so much).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, NamedTuple, Optional
 
 from repro.device.gpu import OutOfMemoryError, SimulatedGPU
 from repro.device.timeline import Stream, Timeline
@@ -18,9 +17,9 @@ from repro.mempool.heap_pool import HeapPool, PoolExhaustedError
 from repro.mempool.stats import AllocatorStats
 
 
-@dataclass(frozen=True)
-class Allocation:
-    """Handle for one live allocation."""
+class Allocation(NamedTuple):
+    """Handle for one live allocation (a NamedTuple: one is minted per
+    alloc on the hot path, where frozen-dataclass construction costs)."""
 
     handle: int
     nbytes: int
@@ -36,6 +35,10 @@ class Allocator:
         self.stats = AllocatorStats()
         self._used = 0
         self._peak = 0
+        # the latencies are device-model constants; resolve the
+        # subclass properties once instead of twice per alloc/free
+        self._alloc_latency = self.alloc_latency
+        self._free_latency = self.free_latency
 
     # subclasses implement _do_alloc/_do_free and the latency properties
     def _do_alloc(self, nbytes: int, tag: str) -> int:
@@ -55,22 +58,28 @@ class Allocator:
     # -- public API -----------------------------------------------------------
     def alloc(self, nbytes: int, tag: str = "") -> Allocation:
         handle = self._do_alloc(nbytes, tag)
-        self._used += nbytes
-        self._peak = max(self._peak, self._used)
-        self.stats.allocs += 1
-        self.stats.alloc_bytes += nbytes
-        self.stats.overhead_seconds += self.alloc_latency
+        used = self._used + nbytes
+        self._used = used
+        if used > self._peak:
+            self._peak = used
+        stats = self.stats
+        latency = self._alloc_latency
+        stats.allocs += 1
+        stats.alloc_bytes += nbytes
+        stats.overhead_seconds += latency
         if self.timeline is not None:
-            self.timeline.advance(Stream.COMPUTE, self.alloc_latency, "alloc")
+            self.timeline.tick_compute(latency)
         return Allocation(handle, nbytes, tag)
 
     def free(self, allocation: Allocation) -> None:
         self._do_free(allocation.handle)
         self._used -= allocation.nbytes
-        self.stats.frees += 1
-        self.stats.overhead_seconds += self.free_latency
+        latency = self._free_latency
+        stats = self.stats
+        stats.frees += 1
+        stats.overhead_seconds += latency
         if self.timeline is not None:
-            self.timeline.advance(Stream.COMPUTE, self.free_latency, "free")
+            self.timeline.tick_compute(latency)
 
     # -- usage accounting --------------------------------------------------------
     @property

@@ -39,17 +39,23 @@ class PoolExhaustedError(MemoryError):
         )
 
 
-@dataclass
 class _Node:
-    """One contiguous run of blocks."""
+    """One contiguous run of blocks (slots: one node is created per
+    allocation, and attribute traffic dominates the free-list walk)."""
 
-    node_id: int
-    addr: int      # block index of the first block
-    blocks: int    # run length in blocks
+    __slots__ = ("node_id", "addr", "blocks")
+
+    def __init__(self, node_id: int, addr: int, blocks: int) -> None:
+        self.node_id = node_id
+        self.addr = addr
+        self.blocks = blocks
 
     @property
     def end(self) -> int:
         return self.addr + self.blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Node(id={self.node_id}, addr={self.addr}, blocks={self.blocks})"
 
 
 class HeapPool:
@@ -86,17 +92,19 @@ class HeapPool:
         if nbytes < 0:
             raise ValueError(f"negative allocation {nbytes}")
         need = self.blocks_for(nbytes)
-        for i, node in enumerate(self._free):
+        free = self._free
+        for i, node in enumerate(free):
             if node.blocks >= need:
-                alloc_node = _Node(next(self._ids), node.addr, need)
+                node_id = next(self._ids)
+                alloc_node = _Node(node_id, node.addr, need)
                 if node.blocks == need:
-                    self._free.pop(i)
+                    free.pop(i)
                 else:
                     node.addr += need
                     node.blocks -= need
-                self._allocated[alloc_node.node_id] = alloc_node
+                self._allocated[node_id] = alloc_node
                 self._free_blocks -= need
-                return alloc_node.node_id
+                return node_id
         raise PoolExhaustedError(need, self._free_blocks)
 
     def addr_of(self, node_id: int) -> int:
@@ -115,22 +123,26 @@ class HeapPool:
             raise KeyError(f"unknown or double-freed node id {node_id}")
         self._free_blocks += node.blocks
         # Insert by address, then merge with left/right neighbours.
-        lo, hi = 0, len(self._free)
+        free = self._free
+        addr = node.addr
+        lo, hi = 0, len(free)
         while lo < hi:
             mid = (lo + hi) // 2
-            if self._free[mid].addr < node.addr:
+            if free[mid].addr < addr:
                 lo = mid + 1
             else:
                 hi = mid
-        self._free.insert(lo, node)
+        free.insert(lo, node)
         # coalesce right
-        if lo + 1 < len(self._free) and node.end == self._free[lo + 1].addr:
-            node.blocks += self._free[lo + 1].blocks
-            self._free.pop(lo + 1)
+        if lo + 1 < len(free) and addr + node.blocks == free[lo + 1].addr:
+            node.blocks += free[lo + 1].blocks
+            free.pop(lo + 1)
         # coalesce left
-        if lo > 0 and self._free[lo - 1].end == node.addr:
-            self._free[lo - 1].blocks += node.blocks
-            self._free.pop(lo)
+        if lo > 0:
+            left = free[lo - 1]
+            if left.addr + left.blocks == addr:
+                left.blocks += node.blocks
+                free.pop(lo)
 
     # -- introspection ------------------------------------------------------------
     @property

@@ -98,18 +98,21 @@ class Tensor:
             raise ValueError(f"tensor dims must be positive, got {self.shape}")
         self.shape = tuple(int(d) for d in self.shape)
         self.dtype = np.dtype(self.dtype)
+        # shape/dtype are fixed for life; cache the hot size queries
+        n = 1
+        for d in self.shape:
+            n *= d
+        self._numel = n
+        self._nbytes = n * self.dtype.itemsize
 
     # -- size accounting -------------------------------------------------
     @property
     def numel(self) -> int:
-        n = 1
-        for d in self.shape:
-            n *= d
-        return n
+        return self._numel
 
     @property
     def nbytes(self) -> int:
-        return self.numel * self.dtype.itemsize
+        return self._nbytes
 
     # -- placement helpers ------------------------------------------------
     @property

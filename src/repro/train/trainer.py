@@ -55,13 +55,18 @@ class Trainer:
     def executor(self) -> Executor:
         return self.session.executor
 
-    def train(self, iterations: int, start_iteration: int = 0) -> TrainStats:
+    def train(self, iterations: int, start_iteration: int = 0,
+              keep_results: bool = True) -> TrainStats:
+        """Run ``iterations`` iterations.  ``keep_results=False`` keeps
+        only the loss curve — each IterationResult carries per-step
+        traces, so long runs otherwise accumulate them without bound."""
         stats = TrainStats()
         for i in range(start_iteration, start_iteration + iterations):
             res = self.session.run_iteration(i, optimizer=self.optimizer)
             if res.loss is not None:
                 stats.losses.append(res.loss)
-            stats.results.append(res)
+            if keep_results:
+                stats.results.append(res)
         return stats
 
     def close(self) -> None:
