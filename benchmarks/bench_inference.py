@@ -1,0 +1,150 @@
+"""Inference mode: forward-only throughput and the train-vs-infer
+memory gap, zoo-wide (ISSUE 3's serving workload).
+
+For every network in the zoo one compile-once
+:class:`~repro.core.engine.Engine` is built (simulated mode, full
+SuperNeurons config) and both execution modes run from its shared
+plans:
+
+* **train** — the 2N-step forward+backward route;
+* **infer** — the forward-only N-step route: no gradients, no
+  offload/recompute, liveness frees every activation at its last
+  *forward* consumer.
+
+Run as a script (CI's benchmark smoke job does)::
+
+    python benchmarks/bench_inference.py --output BENCH_inference.json
+
+Writes ``BENCH_inference.json`` (per-net records — the trajectory file)
+and ``benchmarks/results/inference.txt`` (the train-vs-infer memory
+table).  The regression gate (``benchmarks/check_regression.py``)
+compares ``speedup`` — the within-run train/infer wall-clock ratio per
+iteration, robust to runner speed exactly like the steady-state gate.
+The memory columns are deterministic per topology and double as the
+zoo-wide table the docs quote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.config import RuntimeConfig
+from repro.core.engine import Engine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+MiB = 1024 * 1024
+
+#: (name, builder kwargs) — paper-scale topologies at a modest batch so
+#: the whole zoo sweeps in CI-smoke time (simulated mode: descriptors
+#: only, no payloads).
+NETS = [
+    ("lenet", {"batch": 8}),
+    ("alexnet", {"batch": 8}),
+    ("vgg16", {"batch": 8}),
+    ("vgg19", {"batch": 8}),
+    ("resnet50", {"batch": 8}),
+    ("resnet101", {"batch": 8}),
+    ("resnet152", {"batch": 8}),
+    ("inception_v4", {"batch": 8}),
+    ("densenet", {"batch": 8}),
+]
+
+
+def _measure(engine: Engine, mode: str, iters: int, repeats: int):
+    """(best seconds/iter, peak_bytes) for one mode of one engine."""
+    best = float("inf")
+    peak = 0
+    for _ in range(repeats):
+        with engine.session(mode=mode) as sess:
+            sess.run_iteration(0)  # link the shared plan outside timing
+            t0 = time.perf_counter()
+            for i in range(1, iters + 1):
+                res = sess.run_iteration(i)
+            dt = (time.perf_counter() - t0) / iters
+            peak = res.peak_bytes
+        best = min(best, dt)
+    return best, peak
+
+
+def run(iters: int, repeats: int) -> list:
+    from repro.zoo import NETWORK_BUILDERS
+    records = []
+    for name, kw in NETS:
+        net = NETWORK_BUILDERS[name](**kw)
+        engine = Engine(net, RuntimeConfig.superneurons(concrete=False))
+        train_s, train_peak = _measure(engine, "train", iters, repeats)
+        infer_s, infer_peak = _measure(engine, "infer", iters, repeats)
+        records.append({
+            "bench": "inference",
+            "config": name,
+            "net": name,
+            "batch": kw["batch"],
+            "iters": iters,
+            "train_ms_per_iter": round(train_s * 1e3, 4),
+            "infer_ms_per_iter": round(infer_s * 1e3, 4),
+            "infer_iters_per_sec": round(1.0 / infer_s, 2),
+            "train_peak_bytes": train_peak,
+            "infer_peak_bytes": infer_peak,
+            "memory_ratio": round(train_peak / infer_peak, 3),
+            # the gated metric: forward-only iterations vs full
+            # train iterations, measured back-to-back in-process
+            "speedup": round(train_s / infer_s, 3),
+        })
+    return records
+
+
+def render(records: list) -> str:
+    from repro.analysis.report import format_table
+    rows = [
+        [r["config"], f"{r['train_peak_bytes'] / MiB:.1f}",
+         f"{r['infer_peak_bytes'] / MiB:.1f}", f"{r['memory_ratio']:.2f}x",
+         f"{r['train_ms_per_iter']:.3f}", f"{r['infer_ms_per_iter']:.3f}",
+         f"{r['speedup']:.2f}x"]
+        for r in records
+    ]
+    return format_table(
+        "Train vs infer: peak memory and per-iteration cost "
+        f"(batch={records[0]['batch']}, simulated, superneurons config)",
+        ["net", "train MiB", "infer MiB", "mem ratio",
+         "train ms", "infer ms", "speedup"],
+        rows,
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output",
+                    default=str(REPO_ROOT / "BENCH_inference.json"),
+                    help="where to write the JSON trajectory record")
+    ap.add_argument("--iters", type=int, default=30,
+                    help="timed iterations per mode")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="repeat runs; the fastest is reported")
+    args = ap.parse_args()
+    if args.iters < 1 or args.repeats < 1:
+        ap.error("--iters and --repeats must be >= 1")
+
+    records = run(args.iters, args.repeats)
+    text = render(records)
+    print(text)
+
+    Path(args.output).write_text(json.dumps(records, indent=2) + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "inference.txt").write_text(text + "\n")
+    print(f"\nwrote {args.output}")
+
+    not_lower = [r["config"] for r in records
+                 if r["infer_peak_bytes"] >= r["train_peak_bytes"]]
+    if not_lower:
+        print(f"FAIL: infer peak is not below train peak for {not_lower}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,7 @@ Usage::
     python examples/train_beyond_dram.py
 """
 
-from repro import Executor, RuntimeConfig, SGD, Session
+from repro import RuntimeConfig, SGD, Session
 from repro.core.config import WorkspacePolicy
 from repro.device.gpu import OutOfMemoryError
 from repro.zoo import resnet_from_units
@@ -43,9 +43,10 @@ def main():
     print(f"\nshrinking the GPU to {capacity / MiB:.2f} MiB ...")
 
     try:
-        ex = Executor(mk_net(), RuntimeConfig.baseline(
-            gpu_capacity=capacity, workspace_policy=WorkspacePolicy.NONE))
-        ex.run_iteration(0, optimizer=SGD(0.01))
+        with Session(mk_net(), RuntimeConfig.baseline(
+                gpu_capacity=capacity,
+                workspace_policy=WorkspacePolicy.NONE)) as sess:
+            sess.run_iteration(0, optimizer=SGD(0.01))
         raise SystemExit("baseline unexpectedly fit!")
     except OutOfMemoryError as exc:
         print(f"baseline:      OOM as expected ({exc})")

@@ -9,6 +9,14 @@ recommended entry point:
 ...                  .with_policy("recompute", strategy="cost_aware") as s:
 ...     result = s.run_iteration(0)
 
+Serving workloads compile once and spawn lightweight sessions — each
+worker gets its own device substrate but shares the compiled plans:
+
+>>> import repro
+>>> engine = repro.compile(net, repro.RuntimeConfig.superneurons())
+>>> with engine.session(mode="infer") as worker:
+...     result = worker.run_iteration(0)
+
 The legacy constructor keeps working unchanged:
 
 >>> from repro import Executor, RuntimeConfig
@@ -20,6 +28,7 @@ subsystem maps onto the packages below.
 """
 
 from repro.core.config import RecomputeStrategy, RuntimeConfig, WorkspacePolicy
+from repro.core.engine import Engine, compile
 from repro.core.policy import (
     POLICY_REGISTRY,
     MemoryPolicy,
@@ -34,7 +43,7 @@ from repro.train.trainer import Trainer
 from repro.train.sgd import SGD
 from repro import zoo
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "RuntimeConfig",
@@ -44,6 +53,8 @@ __all__ = [
     "StepContext",
     "POLICY_REGISTRY",
     "register_policy",
+    "Engine",
+    "compile",
     "Executor",
     "IterationResult",
     "Session",

@@ -8,15 +8,20 @@ Commands
 ``probe``   — largest batch (or deepest ResNet) before OOM.
 ``breakdown`` — Fig. 8-style time/memory percentages by layer type.
 ``policies`` — the registered memory-policy stack per framework.
+``infer``   — (alias ``serve``) compile once, run N forward-only
+              sessions concurrently; report throughput and the
+              train-vs-infer peak-memory gap.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis import memory_breakdown_by_type, time_breakdown_by_type
 from repro.analysis.report import Table
+from repro.core.engine import Engine
 from repro.core.policy import POLICY_REGISTRY
 from repro.core.session import Session
 from repro.frameworks import FRAMEWORKS, framework_config
@@ -126,6 +131,48 @@ def cmd_breakdown(args) -> int:
     return 0
 
 
+def cmd_infer(args) -> int:
+    """Forward-only serving: compile once, fan out sessions."""
+    if args.sessions < 1 or args.iters < 1:
+        print("infer needs --sessions >= 1 and --iters >= 1",
+              file=sys.stderr)
+        return 2
+    name = _net_name(args)
+    net = NETWORK_BUILDERS[name](batch=args.batch)
+    engine = Engine(net, _config(args))
+    sessions = [engine.session(mode="infer") for _ in range(args.sessions)]
+    try:
+        t0 = time.perf_counter()
+        results = []
+        for i in range(args.iters):
+            for s in sessions:  # round-robin: the serving interleave
+                results.append(s.run_iteration(i))
+        wall = time.perf_counter() - t0
+    finally:
+        for s in sessions:
+            s.close()
+    peak = max(r.peak_bytes for r in results)
+    sim_per_iter = results[-1].sim_time
+    serve_compiles = engine.compile_count
+    with engine.session(mode="train") as train:
+        train_peak = train.run_iteration(0).peak_bytes
+
+    n_iter = args.iters * args.sessions
+    print(f"network      : {name} (batch {args.batch}, {len(net)} layers)")
+    print(f"framework    : {args.framework}")
+    print(f"sessions     : {args.sessions} sharing one engine "
+          f"(plans compiled {serve_compiles}x for serving)")
+    print(f"infer peak   : {peak / MiB:.1f} MiB "
+          f"(train would need {train_peak / MiB:.1f} MiB — "
+          f"{train_peak / peak:.2f}x more)")
+    print(f"sim time     : {sim_per_iter * 1e3:.2f} ms/iter "
+          f"({args.batch / sim_per_iter:.1f} img/s per session)")
+    print(f"host time    : {wall / n_iter * 1e3:.2f} ms/iter over "
+          f"{n_iter} iterations ({args.batch * n_iter / wall:.0f} img/s "
+          f"aggregate)")
+    return 0
+
+
 def cmd_policies(args) -> int:
     if args.framework_name:
         names = [args.framework_name]
@@ -162,6 +209,15 @@ def main(argv=None) -> int:
     p = sub.add_parser("breakdown", help="Fig. 8 style layer-type shares")
     _add_common(p)
     p.set_defaults(fn=cmd_breakdown)
+
+    p = sub.add_parser("infer", aliases=["serve"],
+                       help="forward-only serving throughput/memory")
+    _add_common(p)
+    p.add_argument("--sessions", type=int, default=2,
+                   help="concurrent sessions sharing one compiled engine")
+    p.add_argument("--iters", type=int, default=8,
+                   help="iterations per session")
+    p.set_defaults(fn=cmd_infer)
 
     p = sub.add_parser("policies", help="memory-policy stack per framework")
     p.add_argument("framework_name", nargs="?", default=None,

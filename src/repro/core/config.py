@@ -9,7 +9,7 @@ more.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import FrozenSet, Optional
 
 from repro.device.model import DeviceModel, K40_MODEL
@@ -117,6 +117,33 @@ class RuntimeConfig:
     def capacity(self) -> int:
         return self.gpu_capacity if self.gpu_capacity is not None \
             else self.device.dram_bytes
+
+    # -- execution modes ------------------------------------------------------
+    def for_mode(self, mode: str) -> "RuntimeConfig":
+        """The effective config an execution mode runs under.
+
+        ``"train"`` is the config itself.  ``"infer"`` is a copy with
+        the backward-only optimizations disarmed: offloading exists to
+        bridge the forward→backward gap and recomputation re-runs
+        segments *for* backward steps, so neither has anything to do on
+        a forward-only route — liveness (which frees every activation
+        at its last forward consumer) and dynamic workspaces remain.
+        """
+        if mode == "train":
+            return self
+        if mode == "infer":
+            # dispatch through the registry disarms so the disarmed
+            # field set can never drift from Session.without_policy's,
+            # and the backward_only flag decides *which* policies —
+            # the same flag Session.with_policy's infer guard reads
+            from repro.core.policy import POLICY_REGISTRY  # lazy: cycle
+            cfg = replace(self)
+            for cls in POLICY_REGISTRY.values():
+                if cls.backward_only:
+                    cls.disarm(cfg)
+            return cfg
+        raise ValueError(f"unknown execution mode {mode!r}; "
+                         "expected 'train' or 'infer'")
 
     # -- policy-stack view ---------------------------------------------------
     def policy_stack(self):

@@ -1,0 +1,168 @@
+"""Compile-once Engine: one planning pass, many lightweight sessions.
+
+The paper's central observation — memory-management decisions are
+deterministic per topology (§3) — already powers the steady-state
+replay of :mod:`repro.core.plan`.  This module lifts the same idea to
+the top-level API: *compiling* a network (route construction, liveness
+analysis, recompute segmentation, policy-plan recording) and *running*
+it are different lifecycles with different sharing.
+
+:func:`compile` (also ``Engine(net, config)``) produces an immutable
+compiled artifact.  Per execution mode it owns:
+
+* the :class:`~repro.graph.route.ExecutionRoute` (2N steps for train,
+  N forward-only steps for infer);
+* the compiled :class:`~repro.core.liveness.LivenessPlan` and
+  :class:`~repro.core.recompute.RecomputePlan`;
+* the gathered per-policy :class:`~repro.core.plan.PolicyPlan`
+  decisions, recorded by running one *scout* iteration in simulated
+  mode (descriptor-only, so compiling a concrete engine never touches
+  payloads, parameter values, or BN running statistics).
+
+``engine.session(mode=...)`` then spawns cheap workers: each gets its
+own device substrate — GPU ledger, timeline/clock, DMA engine,
+allocator, tensor store — but links the shared plans into its executor
+and replays them from iteration 0.  N serving sessions pay the
+planning cost exactly once (``engine.compile_count`` proves it).
+
+What is shared vs per-session
+-----------------------------
+Shared (read-only after compile): the built net topology, parameter
+*values* (serving replicas share weights), routes, liveness/recompute
+plans, gathered policy decisions.  Per-session: the entire device
+substrate, policy instances (LRU cache state, workspace selectors),
+iteration results, and every activation payload.  Sessions interleave
+safely at iteration granularity — each iteration starts and ends at
+the settled state (parameters resident, every activation freed), which
+the executor's end-of-iteration leak check enforces.  Concurrent
+*training* sessions with optimizers would race on the shared weights;
+use separate engines (or nets) for that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import RuntimeConfig
+from repro.core.liveness import LivenessAnalysis, LivenessPlan
+from repro.core.plan import GatheredPolicy, gather_policy_plans
+from repro.core.policy import MemoryPolicy, resolve_policies
+from repro.core.recompute import RecomputePlan
+from repro.core.runtime import Executor
+from repro.graph.network import Net
+from repro.graph.route import ExecutionRoute
+
+#: The execution modes an engine can compile.
+MODES = ("train", "infer")
+
+
+@dataclass(frozen=True)
+class CompiledMode:
+    """One mode's immutable planning artifacts, shared by all sessions."""
+
+    mode: str
+    route: ExecutionRoute
+    recompute_plan: RecomputePlan
+    liveness: LivenessAnalysis
+    liveness_plan: LivenessPlan
+    gathered: Tuple[GatheredPolicy, ...]
+
+
+class Engine:
+    """The compiled artifact: net + resolved config + per-mode plans.
+
+    Construction builds the net and freezes the config; the per-mode
+    plans are compiled lazily on first use (or eagerly via
+    :func:`compile`'s ``modes`` argument) and cached —
+    :attr:`compile_count` counts the planning passes actually run.
+    """
+
+    def __init__(self, net: Net, config: Optional[RuntimeConfig] = None):
+        self.net = net.build()
+        # private copy: compiled plans are derived from the config, so
+        # later caller-side mutation must not desync them from workers
+        self.config = replace(config) if config is not None \
+            else RuntimeConfig()
+        self.compile_count = 0
+        self._compiled: Dict[str, CompiledMode] = {}
+
+    # ------------------------------------------------------------- compiling
+    def compiled(self, mode: str = "train") -> CompiledMode:
+        """The (cached) compiled artifacts for one execution mode."""
+        if mode not in MODES:
+            raise ValueError(f"unknown execution mode {mode!r}; "
+                             f"expected one of {MODES}")
+        cm = self._compiled.get(mode)
+        if cm is None:
+            cm = self._compile_mode(mode)
+            self._compiled[mode] = cm
+            self.compile_count += 1
+        return cm
+
+    def _compile_mode(self, mode: str) -> CompiledMode:
+        # The scout records one fresh iteration in simulated mode: the
+        # allocator landscape (hence workspace picks), liveness frees,
+        # offload/prefetch schedules, and recompute cleanup are
+        # identical to a concrete run's, but no payload is ever touched.
+        scout_cfg = replace(self.config.for_mode(mode),
+                            concrete=False, collect_traces=False,
+                            steady_state_replay=True)
+        with Executor(self.net, scout_cfg, mode=mode) as scout:
+            scout.run_iteration(0)
+            return CompiledMode(
+                mode=mode,
+                route=scout.route,
+                recompute_plan=scout.recompute_plan,
+                liveness=scout.liveness,
+                liveness_plan=scout.plan,
+                gathered=gather_policy_plans(scout),
+            )
+
+    # -------------------------------------------------------------- spawning
+    def executor(self, mode: str = "train", precompiled: bool = True,
+                 extra_policies: Tuple[MemoryPolicy, ...] = ()) -> Executor:
+        """A fresh executor over this engine's net.
+
+        With ``precompiled`` (the default when replay is enabled and no
+        custom policy instances ride along), the worker links the
+        shared compiled plan and replays from iteration 0; otherwise it
+        records its own first iteration, exactly like a standalone
+        ``Executor`` — the legacy :class:`~repro.core.session.Session`
+        path uses that to keep its record-then-replay contract.
+        """
+        eff = self.config.for_mode(mode)
+        stack = resolve_policies(eff) + list(extra_policies)
+        compiled = None
+        if precompiled and eff.steady_state_replay and not extra_policies:
+            compiled = self.compiled(mode)
+        return Executor(self.net, self.config, policies=stack,
+                        mode=mode, compiled=compiled)
+
+    def session(self, mode: str = "train"):
+        """Spawn a lightweight session sharing this engine's plans."""
+        from repro.core.session import Session  # lazy: avoid cycle
+        return Session(engine=self, mode=mode)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def compiled_modes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._compiled))
+
+    def describe(self) -> str:
+        modes = ", ".join(self.compiled_modes) or "none yet"
+        return (f"Engine({self.net.name}, {len(self.net)} layers, "
+                f"compiled modes: {modes})")
+
+
+def compile(net: Net, config: Optional[RuntimeConfig] = None,
+            modes: Tuple[str, ...] = ()) -> Engine:
+    """Compile a network into an :class:`Engine`.
+
+    ``modes`` eagerly compiles the named execution modes; by default
+    compilation happens lazily when the first session of a mode runs.
+    """
+    engine = Engine(net, config)
+    for mode in modes:
+        engine.compiled(mode)
+    return engine

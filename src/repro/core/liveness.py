@@ -17,6 +17,15 @@ Interaction with the other optimizations changes *which reads count*:
 * offloading ON → checkpoint outputs lose GPU residency after their
   last forward read (the host copy covers the backward), and regain it
   at prefetch — the plan reports those "gpu-release" points separately.
+
+Inference mode needs no special casing here: the executor hands this
+analysis the forward-only route (``ExecutionRoute(net,
+training=False)``), so every tensor's last use *is* its last forward
+consumer and the compiled free lists release activations the moment
+the forward pass is done with them — the source of the serving mode's
+peak-memory drop.  (The offload/recompute interactions above never
+trigger on such a route: ``RuntimeConfig.for_mode("infer")`` disarms
+both.)
 """
 
 from __future__ import annotations

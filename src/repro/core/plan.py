@@ -15,8 +15,10 @@ This module freezes those decisions after a recording (fresh) iteration:
   ``compile_plan`` hook — per-step free lists (liveness), the eager
   offload/prefetch schedule (UTP), the steps where recomputation
   bookkeeping is live, and the per-execution workspace algorithm picks;
-* :func:`compile_iteration_plan` merges the contributions, *in stack
-  order*, into one :class:`IterationPlan` — an array of
+* :func:`gather_policy_plans` collects the contributions
+  (executor-independent, so a compile-once engine can share them) and
+  :func:`link_iteration_plan` merges them, *in stack order*, into one
+  :class:`IterationPlan` — an array of
   :class:`CompiledStep` records whose hook sites are prebound closure
   lists, so the executor's replay loop runs the exact same mechanics
   with zero hook dispatch for stable policies and no dispatch at all
@@ -287,25 +289,65 @@ def _make_workspace_op(ex, policy, step: Step, pick: WorkspaceChoice) -> StepOp:
 
 
 # --------------------------------------------------------------------------- #
-# plan compilation
+# plan compilation: gather (shareable) + link (per-executor closures)
 # --------------------------------------------------------------------------- #
 
-def compile_iteration_plan(ex) -> IterationPlan:
-    """Merge per-policy plans into the executor-ready IterationPlan.
+@dataclass(frozen=True)
+class GatheredPolicy:
+    """One stack position's compilation outcome, executor-independent.
+
+    The tuple of these — aligned with the resolved policy stack — is
+    what a compile-once :class:`~repro.core.engine.Engine` shares across
+    sessions: it references tensors of the shared net and frozen
+    decisions, never a particular executor's substrate.  Linking it
+    against another executor (same config → same stack keys) rebuilds
+    the closure-bound :class:`IterationPlan` without re-planning.
+    """
+
+    key: str
+    stable: bool
+    plan: Optional[PolicyPlan]
+
+
+def gather_policy_plans(ex) -> Tuple["GatheredPolicy", ...]:
+    """Freeze every stack position's decisions after a fresh iteration.
 
     Must run after at least one fresh (recording) iteration, so that
     policies whose plans are observed rather than derived (workspace
     picks, recompute activity) have something to freeze.
     """
     ctx = ex._ctx
-    overrides = ex._overrides  # one override-detection rule, one place
-
-    contributions: Dict[int, Optional[PolicyPlan]] = {}
-    stable_keys: List[str] = []
+    out: List[GatheredPolicy] = []
     for p in ex.policies:
         if p.is_plan_stable(ctx):
-            contributions[id(p)] = p.compile_plan(ctx)
-            stable_keys.append(p.key)
+            out.append(GatheredPolicy(p.key, True, p.compile_plan(ctx)))
+        else:
+            out.append(GatheredPolicy(p.key, False, None))
+    return tuple(out)
+
+
+def link_iteration_plan(ex, gathered: Tuple["GatheredPolicy", ...]
+                        ) -> IterationPlan:
+    """Bind gathered policy plans to ``ex``'s substrate as closures.
+
+    ``gathered`` may come from this executor's own recording iteration
+    or from an engine's scout executor — the stacks must resolve to the
+    same keys in the same order (guaranteed when both come from the
+    same config), and dynamic policies dispatch to *this* executor's
+    instances.
+    """
+    keys = [p.key for p in ex.policies]
+    if keys != [g.key for g in gathered]:
+        raise ValueError(
+            f"policy stack {keys} does not match the compiled plan's "
+            f"stack {[g.key for g in gathered]}"
+        )
+    overrides = ex._overrides  # one override-detection rule, one place
+    pairs = list(zip(ex.policies, gathered))
+    contributions: Dict[int, Optional[PolicyPlan]] = {
+        id(p): g.plan for p, g in pairs if g.stable
+    }
+    stable_keys = [g.key for g in gathered if g.stable]
     reap_op = _make_reap_op(ex)
 
     steps: List[CompiledStep] = []
@@ -316,8 +358,8 @@ def compile_iteration_plan(ex) -> IterationPlan:
         compute: List[StepOp] = []
         after: List[StepOp] = []
         settled: List[StepOp] = []
-        for p in ex.policies:
-            if id(p) not in contributions:
+        for p, g in pairs:
+            if not g.stable:
                 # dynamic policy: bound methods, original stack position
                 if overrides(p, "before_step"):
                     before.append(p.before_step)
@@ -328,7 +370,7 @@ def compile_iteration_plan(ex) -> IterationPlan:
                 if overrides(p, "on_step_settled"):
                     settled.append(p.on_step_settled)
                 continue
-            pp = contributions[id(p)]
+            pp = g.plan
             if pp is None:
                 continue  # stable, nothing per-step: elided entirely
             if pp.reap_before_step:

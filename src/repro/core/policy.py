@@ -222,6 +222,12 @@ class MemoryPolicy:
 
     key: str = ""
 
+    #: True for policies that only bridge the forward->backward gap
+    #: (offload, recompute): RuntimeConfig.for_mode("infer") disarms
+    #: them and Session.with_policy rejects arming them on infer
+    #: sessions — one flag, both surfaces.
+    backward_only: bool = False
+
     # -- construction / config mapping --------------------------------------
     @classmethod
     def from_config(cls, config: RuntimeConfig) -> "MemoryPolicy":
@@ -233,6 +239,19 @@ class MemoryPolicy:
             raise TypeError(
                 f"policy {cls.key!r} takes no options, got {sorted(options)}")
         return config
+
+    @classmethod
+    def disarm(cls, config: RuntimeConfig) -> RuntimeConfig:
+        """Undo everything :meth:`configure` arms on the config.
+
+        ``Session.without_policy`` dispatches here through the
+        registry, so arming and disarming can never drift apart.
+        Policies that only exist as explicit instances (nothing in the
+        config denotes them) have nothing to disarm.
+        """
+        raise TypeError(
+            f"policy {cls.key!r} is not config-armed; remove the "
+            "instance from the stack instead of disarming it")
 
     def describe(self) -> str:
         return self.key
@@ -362,6 +381,11 @@ class LivenessPolicy(MemoryPolicy):
         config.liveness_scope = scope
         return config
 
+    @classmethod
+    def disarm(cls, config: RuntimeConfig) -> RuntimeConfig:
+        config.use_liveness = False
+        return config
+
     def describe(self) -> str:
         return f"liveness(scope={self.scope})"
 
@@ -396,6 +420,7 @@ class OffloadCachePolicy(MemoryPolicy):
     """
 
     key = "offload"
+    backward_only = True  # offload exists to cover backward reads
 
     def __init__(self, cache_policy: Optional[str] = "lru") -> None:
         self.cache_mode = cache_policy is not None
@@ -419,6 +444,14 @@ class OffloadCachePolicy(MemoryPolicy):
             config.pinned_host = pinned
         if pools is not None:
             config.external_pools = pools
+        return config
+
+    @classmethod
+    def disarm(cls, config: RuntimeConfig) -> RuntimeConfig:
+        # the tensor cache exists only as the UTP's lazy mode: disarm
+        # it too, or a later re-arm would silently inherit stale state
+        config.use_offload = False
+        config.use_tensor_cache = False
         return config
 
     def describe(self) -> str:
@@ -584,6 +617,7 @@ class RecomputePolicy(MemoryPolicy):
     """
 
     key = "recompute"
+    backward_only = True  # segments re-run only on backward demand
 
     def __init__(self, strategy: RecomputeStrategy =
                  RecomputeStrategy.COST_AWARE) -> None:
@@ -606,6 +640,11 @@ class RecomputePolicy(MemoryPolicy):
     def configure(cls, config: RuntimeConfig,
                   strategy: str = "cost_aware") -> RuntimeConfig:
         config.recompute = RecomputeStrategy(strategy)
+        return config
+
+    @classmethod
+    def disarm(cls, config: RuntimeConfig) -> RuntimeConfig:
+        config.recompute = RecomputeStrategy.NONE
         return config
 
     def describe(self) -> str:
@@ -803,6 +842,11 @@ class WorkspacePolicy(MemoryPolicy):
     def configure(cls, config: RuntimeConfig,
                   mode: str = "dynamic") -> RuntimeConfig:
         config.workspace_policy = _config.WorkspacePolicy(mode)
+        return config
+
+    @classmethod
+    def disarm(cls, config: RuntimeConfig) -> RuntimeConfig:
+        config.workspace_policy = _config.WorkspacePolicy.NONE
         return config
 
     def describe(self) -> str:

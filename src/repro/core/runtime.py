@@ -41,8 +41,10 @@ from repro.core.liveness import LivenessAnalysis, LivenessPlan
 from repro.core.plan import (
     SCHEDULABLE_HOOKS,
     CompiledStep,
+    GatheredPolicy,
     IterationPlan,
-    compile_iteration_plan,
+    gather_policy_plans,
+    link_iteration_plan,
 )
 from repro.core.policy import MemoryPolicy, StepContext, resolve_policies
 from repro.core.recompute import plan_segments
@@ -157,12 +159,24 @@ class _PendingOffload:
 
 
 class Executor:
-    """Runs training iterations of one network under one policy stack.
+    """Runs iterations of one network under one policy stack.
 
     ``Executor(net, config)`` resolves the stack from the config — the
     legacy constructor keeps working unchanged.  ``policies`` overrides
     the stack explicitly (the :class:`~repro.core.session.Session`
     builder uses this to append custom policies).
+
+    ``mode`` selects the execution mode: ``"train"`` runs the 2N-step
+    forward+backward route; ``"infer"`` runs the forward-only N-step
+    route with ``training=False`` kernels, no gradient allocation, and
+    the backward-bridging policies (offload, recompute) disarmed — see
+    :meth:`RuntimeConfig.for_mode`.
+
+    ``compiled`` injects a :class:`~repro.core.engine.CompiledMode`
+    (shared route/liveness/recompute artifacts plus gathered policy
+    plans) from a compile-once :class:`~repro.core.engine.Engine`: the
+    executor then skips its own planning entirely and replays the
+    linked plan from iteration 0.
     """
 
     def __init__(
@@ -170,9 +184,14 @@ class Executor:
         net: Net,
         config: Optional[RuntimeConfig] = None,
         policies: Optional[Sequence[MemoryPolicy]] = None,
+        mode: str = "train",
+        compiled=None,
     ):
         self.net = net.build()
-        self.config = config or RuntimeConfig()
+        base_config = config or RuntimeConfig()
+        self.mode = mode
+        self.config = base_config.for_mode(mode)  # validates the mode
+        self.training = mode == "train"
         cfg = self.config
         self.concrete = cfg.concrete
         self.model: DeviceModel = cfg.device
@@ -194,12 +213,26 @@ class Executor:
             self.allocator = CudaAllocator(self.gpu, self.timeline)
         self.store = ArrayStore() if self.concrete else NullStore()
 
-        self.route = ExecutionRoute(self.net)
-        self.recompute_plan = plan_segments(
-            self.route, cfg.recompute, self.net.max_layer_bytes()
-        )
-        self.liveness = LivenessAnalysis(self.route, cfg, self.recompute_plan)
-        self.plan: LivenessPlan = self.liveness.compile()
+        if compiled is not None:
+            if compiled.mode != mode:
+                raise ValueError(
+                    f"compiled artifacts are for mode {compiled.mode!r}, "
+                    f"executor runs {mode!r}"
+                )
+            # engine workers share the read-only planning artifacts
+            self.route = compiled.route
+            self.recompute_plan = compiled.recompute_plan
+            self.liveness = compiled.liveness
+            self.plan: LivenessPlan = compiled.liveness_plan
+        else:
+            self.route = ExecutionRoute(self.net, training=self.training)
+            self.recompute_plan = plan_segments(
+                self.route, cfg.recompute, self.net.max_layer_bytes()
+            )
+            self.liveness = LivenessAnalysis(self.route, cfg,
+                                             self.recompute_plan)
+            self.plan = self.liveness.compile()
+        self._precompiled = compiled
 
         # the policy stack (ordered; dispatch order is semantic)
         self.policies: List[MemoryPolicy] = (
@@ -546,21 +579,26 @@ class Executor:
         return self._iteration_plan
 
     def invalidate_plan(self) -> None:
-        """Drop the compiled plan; the next iteration records afresh."""
+        """Drop the compiled plan; the next iteration records afresh
+        (a precompiled engine plan is dropped too)."""
         self._iteration_plan = None
         self._replay_listeners = None
+        self._precompiled = None
         self._fresh_iterations = 0  # require a new recording iteration
 
     def _compile_plan(self) -> None:
-        plan = compile_iteration_plan(self)
-        self._iteration_plan = plan
+        self._install_plan(gather_policy_plans(self))
+
+    def _install_plan(self, gathered: Sequence[GatheredPolicy]) -> None:
+        """Link gathered policy plans (own or engine-shared) and derive
+        the replay dispatch tables."""
+        self._iteration_plan = link_iteration_plan(self, gathered)
         schedulable = set(SCHEDULABLE_HOOKS)
         skip_hooks: Dict[int, Set[str]] = {}
-        for p in self.policies:
-            if id(p) not in plan.policy_plans:
+        for p, g in zip(self.policies, gathered):
+            if not g.stable:
                 continue  # dynamic: keeps every hook
-            pp = plan.policy_plans[id(p)]
-            keep = set(pp.keep_hooks) if pp is not None else set()
+            keep = set(g.plan.keep_hooks) if g.plan is not None else set()
             skip_hooks[id(p)] = schedulable - keep
         self._replay_listeners = self._build_listener_table(skip_hooks)
 
@@ -570,17 +608,26 @@ class Executor:
         iteration: int = 0,
         optimizer=None,
     ) -> IterationResult:
+        if optimizer is not None and not self.training:
+            raise TypeError(
+                "infer mode runs no backward pass, so the optimizer "
+                "would never step; drop it or use a train-mode session")
         ctx = self._ctx
         replaying = False
         if self._replay_enabled:
-            if self._iteration_plan is None and self._fresh_iterations:
-                self._compile_plan()
+            if self._iteration_plan is None:
+                if self._fresh_iterations:
+                    self._compile_plan()
+                elif self._precompiled is not None:
+                    # engine worker: link the shared plan, replay from
+                    # iteration 0 — no recording iteration needed
+                    self._install_plan(self._precompiled.gathered)
             replaying = self._iteration_plan is not None
         self._active_listeners = (
             self._replay_listeners if replaying else self._listeners
         )
         ctx._begin_iteration(iteration, LayerContext(iteration=iteration,
-                                                     training=True))
+                                                     training=self.training))
         self._dispatch("on_iteration_start")
         self.allocator.reset_peak()
         t0 = self.timeline.elapsed

@@ -19,6 +19,14 @@ assert identical ``IterationResult.to_dict()`` output for both paths.
 Custom :class:`~repro.core.policy.MemoryPolicy` *instances* can be
 appended with ``with_policy(my_policy)``; they ride at the end of the
 resolved stack, observing every hook without any executor edits.
+
+``Session`` is a thin facade over the compile-once
+:class:`~repro.core.engine.Engine`: a standalone session lazily wraps
+its net+config in a private engine and asks it for a recording
+executor (preserving the record-then-replay contract), while
+``engine.session(mode=...)`` workers share one engine's compiled plans
+and replay them from iteration 0.  ``mode="infer"`` selects the
+forward-only serving loop on either path.
 """
 
 from __future__ import annotations
@@ -42,12 +50,33 @@ class Session:
     The builder is lazy: the :class:`~repro.core.runtime.Executor` (and
     its device substrate) is constructed on first use, so every
     ``with_*`` call before that is free.  After the first ``run`` the
-    stack is frozen — configuring a built session raises.
+    stack is frozen — configuring a built session raises.  Sessions
+    spawned from an :class:`~repro.core.engine.Engine` are frozen from
+    birth: their config belongs to the engine and is shared by every
+    sibling session.
     """
 
-    def __init__(self, net: Net, config: Optional[RuntimeConfig] = None):
-        self._net = net
-        self._config = config if config is not None else RuntimeConfig()
+    def __init__(self, net: Optional[Net] = None,
+                 config: Optional[RuntimeConfig] = None,
+                 *, mode: str = "train", engine=None):
+        if engine is not None:
+            if net is not None or config is not None:
+                raise TypeError(
+                    "an engine-bound session takes its net and config "
+                    "from the engine; pass only mode")
+            self._net = engine.net
+            self._config = engine.config
+        else:
+            if net is None:
+                raise TypeError("Session needs a net (or an engine)")
+            self._net = net
+            self._config = config if config is not None else RuntimeConfig()
+        self._config.for_mode(mode)  # validate early
+        self._mode = mode
+        self._engine = engine
+        # engine-bound workers share a compiled engine's frozen config;
+        # standalone sessions get a *private* engine lazily at build
+        self._engine_bound = engine is not None
         self._extra_policies: List[MemoryPolicy] = []
         self._executor: Optional[Executor] = None
         self._max_history: Optional[int] = None
@@ -62,10 +91,20 @@ class Session:
         return cls(net, framework_config(name, **overrides))
 
     def _require_unbuilt(self, what: str) -> None:
+        if self._engine_bound:
+            raise RuntimeError(
+                f"cannot {what}: this session shares a compiled engine's "
+                "config; configure the config before compiling the engine"
+            )
         if self._executor is not None:
             raise RuntimeError(
                 f"cannot {what}: the session is already built; "
                 "configure before the first run"
+            )
+        if self._engine is not None:
+            raise RuntimeError(
+                f"cannot {what}: compile() froze this session's config "
+                "into an engine; configure before compiling"
             )
 
     def with_policy(self, policy: Union[str, MemoryPolicy],
@@ -73,6 +112,20 @@ class Session:
         """Arm a registered policy by name (options map onto the config),
         or append a custom :class:`MemoryPolicy` instance to the stack."""
         self._require_unbuilt("add a policy")
+        if isinstance(policy, MemoryPolicy):
+            key, backward_only = policy.key, policy.backward_only
+        else:
+            key = policy
+            cls = POLICY_REGISTRY.get(policy)
+            backward_only = cls is not None and cls.backward_only
+        if self._mode == "infer" and backward_only:
+            # for_mode("infer") disarms the config-armed form, and an
+            # instance would schedule offloads/recomputes for backward
+            # reads that never come — fail loudly either way
+            raise TypeError(
+                f"policy {key!r} bridges the forward->backward gap "
+                "and is disarmed in infer mode; arm it on a train-mode "
+                "session")
         if isinstance(policy, MemoryPolicy):
             if options:
                 raise TypeError(
@@ -90,19 +143,23 @@ class Session:
         return self
 
     def without_policy(self, name: str) -> "Session":
-        """Disarm one of the built-in policies by registry name."""
+        """Disarm a registered policy by name.
+
+        Driven by the same :data:`POLICY_REGISTRY` as ``with_policy``,
+        so the accepted names (and the error message's listing) can
+        never drift from the armable set; each policy's ``disarm``
+        classmethod undoes everything its ``configure`` arms — e.g.
+        disarming ``"offload"`` also disarms its tensor cache.
+        """
         self._require_unbuilt("remove a policy")
-        from repro.core.config import RecomputeStrategy, WorkspacePolicy
-        if name == "liveness":
-            self._config.use_liveness = False
-        elif name == "offload":
-            self._config.use_offload = False
-        elif name == "recompute":
-            self._config.recompute = RecomputeStrategy.NONE
-        elif name == "workspace":
-            self._config.workspace_policy = WorkspacePolicy.NONE
-        else:
-            raise KeyError(f"unknown policy {name!r}")
+        try:
+            cls = POLICY_REGISTRY[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown policy {name!r}; registered: "
+                f"{sorted(POLICY_REGISTRY)}"
+            ) from None
+        cls.disarm(self._config)
         return self
 
     def with_config(self, **fields) -> "Session":
@@ -138,32 +195,83 @@ class Session:
         self._max_history = max_results
         return self
 
+    # ---------------------------------------------------------- engine facade
+    def compile(self, *modes: str):
+        """Freeze this session's net+config into a compiled
+        :class:`~repro.core.engine.Engine`.
+
+        Compiles the given modes eagerly (default: this session's
+        mode); spawn sharing sessions with ``engine.session(mode=...)``.
+        Custom policy *instances* are per-session state and cannot be
+        compiled into a shared engine.
+        """
+        if self._engine_bound:
+            for mode in (modes or (self._mode,)):
+                self._engine.compiled(mode)
+            return self._engine
+        if self._extra_policies:
+            raise TypeError(
+                "custom policy instances are per-session and cannot be "
+                "compiled into a shared engine; use registry names")
+        engine = self._private_engine()
+        for mode in (modes or (self._mode,)):
+            engine.compiled(mode)
+        return engine
+
+    def _private_engine(self):
+        if self._engine is None:
+            from repro.core.engine import Engine  # lazy: avoid cycle
+            self._engine = Engine(self._net, self._config)
+        return self._engine
+
     # ------------------------------------------------------------ inspection
     @property
     def config(self) -> RuntimeConfig:
         return self._config
 
     @property
+    def mode(self) -> str:
+        """The execution mode this session runs (``train`` / ``infer``)."""
+        return self._mode
+
+    @property
+    def engine(self):
+        """The engine this session runs over: the shared one when
+        spawned from ``engine.session(...)``, a private one otherwise
+        (None until the session is built)."""
+        return self._engine
+
+    @property
     def executor(self) -> Executor:
-        """The lazily built executor (building it freezes the config)."""
+        """The lazily built executor (building it freezes the config).
+
+        Engine-bound workers link the shared compiled plan and replay
+        from iteration 0; standalone sessions ask their private engine
+        for a *recording* executor, preserving the legacy
+        record-then-replay contract bit for bit.
+        """
         if self._executor is None:
-            stack = resolve_policies(self._config) + self._extra_policies
-            self._executor = Executor(self._net, self._config,
-                                      policies=stack)
+            if self._engine_bound:
+                self._executor = self._engine.executor(self._mode)
+            else:
+                self._executor = self._private_engine().executor(
+                    self._mode, precompiled=False,
+                    extra_policies=tuple(self._extra_policies))
         return self._executor
+
+    def _resolved_stack(self) -> List[MemoryPolicy]:
+        if self._executor is not None:
+            return list(self._executor.policies)
+        return resolve_policies(self._config.for_mode(self._mode)) + \
+            self._extra_policies
 
     def policy_names(self) -> List[str]:
         """Registry keys of the stack this session resolves to."""
-        if self._executor is not None:
-            return [p.key for p in self._executor.policies]
-        return [p.key for p in resolve_policies(self._config)] + \
-            [p.key for p in self._extra_policies]
+        return [p.key for p in self._resolved_stack()]
 
     def describe(self) -> str:
         """Human-readable summary of the resolved policy stack."""
-        policies = self._executor.policies if self._executor is not None \
-            else resolve_policies(self._config) + self._extra_policies
-        return " -> ".join(p.describe() for p in policies)
+        return " -> ".join(p.describe() for p in self._resolved_stack())
 
     # -------------------------------------------------------------- running
     def run_iteration(self, iteration: int = 0,

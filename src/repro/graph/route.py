@@ -78,24 +78,33 @@ class ExecutionRoute:
     ``fstep_of``/``bstep_of`` map a layer to its step indices; the
     dependency tables answer "which step last reads tensor t", the
     question liveness analysis asks.
+
+    ``training=False`` builds the forward-only N-step route of the
+    inference mode: no backward steps exist, so every tensor's last use
+    is its last *forward* consumer and liveness analysis frees it there
+    (``bstep_of`` is empty — nothing may schedule against a backward
+    step in this mode).
     """
 
-    def __init__(self, net: Net):
+    def __init__(self, net: Net, training: bool = True):
         self.net = net
+        self.training = training
         self.forward_layers = forward_order(net)
         n = len(self.forward_layers)
         self.steps: List[Step] = []
         for i, layer in enumerate(self.forward_layers):
             self.steps.append(Step(i, layer, Phase.FORWARD))
-        for i, layer in enumerate(reversed(self.forward_layers)):
-            self.steps.append(Step(n + i, layer, Phase.BACKWARD))
         self.fstep_of: Dict[int, int] = {
             l.layer_id: i for i, l in enumerate(self.forward_layers)
         }
-        self.bstep_of: Dict[int, int] = {
-            l.layer_id: 2 * n - 1 - self.fstep_of[l.layer_id]
-            for l in self.forward_layers
-        }
+        self.bstep_of: Dict[int, int] = {}
+        if training:
+            for i, layer in enumerate(reversed(self.forward_layers)):
+                self.steps.append(Step(n + i, layer, Phase.BACKWARD))
+            self.bstep_of = {
+                l.layer_id: 2 * n - 1 - self.fstep_of[l.layer_id]
+                for l in self.forward_layers
+            }
 
     @property
     def num_layers(self) -> int:

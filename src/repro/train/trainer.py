@@ -48,6 +48,11 @@ class Trainer:
             session = Session(net, config)
         elif net is not None:
             raise TypeError("pass either a net or a session, not both")
+        if session.mode != "train":
+            raise TypeError(
+                f"Trainer needs a train-mode session, got mode="
+                f"{session.mode!r}; inference sessions have no backward "
+                "pass to optimize")
         self.session = session
         self.optimizer = optimizer or SGD(lr=0.01)
 

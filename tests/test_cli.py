@@ -85,3 +85,17 @@ class TestCLI:
         assert rc == 0
         assert "recompute(strategy=cost_aware)" in out
         assert "caffe" not in out
+
+    def test_infer_serving_report(self, capsys):
+        rc = main(["infer", "--net", "lenet", "--batch", "4",
+                   "--sessions", "2", "--iters", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 sharing one engine (plans compiled 1x" in out
+        assert "infer peak" in out and "train would need" in out
+
+    def test_serve_alias(self, capsys):
+        rc = main(["serve", "--net", "lenet", "--batch", "4",
+                   "--sessions", "1", "--iters", "1"])
+        assert rc == 0
+        assert "img/s" in capsys.readouterr().out
