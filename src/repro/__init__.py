@@ -36,6 +36,7 @@ from repro.core.policy import (
     register_policy,
 )
 from repro.core.runtime import Executor, IterationResult
+from repro.core.tensor_state import SessionTensorState
 from repro.core.session import Session
 from repro.graph.network import Net
 from repro.graph.route import ExecutionRoute
@@ -57,6 +58,7 @@ __all__ = [
     "compile",
     "Executor",
     "IterationResult",
+    "SessionTensorState",
     "Session",
     "Net",
     "ExecutionRoute",

@@ -16,6 +16,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -143,10 +144,27 @@ def cmd_infer(args) -> int:
     sessions = [engine.session(mode="infer") for _ in range(args.sessions)]
     try:
         t0 = time.perf_counter()
-        results = []
-        for i in range(args.iters):
-            for s in sessions:  # round-robin: the serving interleave
-                results.append(s.run_iteration(i))
+        if args.parallel:
+            # thread-per-session: tensor state is session-local, so the
+            # threads interleave at op granularity with results
+            # bit-identical to the round-robin loop below.  On timeout
+            # the worker threads are abandoned but non-daemon (they
+            # would block interpreter exit), so hard-exit as
+            # parallel_run's docstring prescribes for CLIs.
+            from concurrent.futures import TimeoutError as _FutTimeout
+            try:
+                per_session = engine.parallel_run(sessions, args.iters,
+                                                  timeout=600.0)
+            except (_FutTimeout, TimeoutError):
+                print("parallel sessions hung past 600s; aborting",
+                      file=sys.stderr)
+                os._exit(1)
+            results = [r for rs in per_session for r in rs]
+        else:
+            results = []
+            for i in range(args.iters):
+                for s in sessions:  # round-robin: the serving interleave
+                    results.append(s.run_iteration(i))
         wall = time.perf_counter() - t0
     finally:
         for s in sessions:
@@ -158,9 +176,10 @@ def cmd_infer(args) -> int:
         train_peak = train.run_iteration(0).peak_bytes
 
     n_iter = args.iters * args.sessions
+    drive = "thread-per-session" if args.parallel else "round-robin"
     print(f"network      : {name} (batch {args.batch}, {len(net)} layers)")
     print(f"framework    : {args.framework}")
-    print(f"sessions     : {args.sessions} sharing one engine "
+    print(f"sessions     : {args.sessions} sharing one engine, {drive} "
           f"(plans compiled {serve_compiles}x for serving)")
     print(f"infer peak   : {peak / MiB:.1f} MiB "
           f"(train would need {train_peak / MiB:.1f} MiB — "
@@ -217,6 +236,9 @@ def main(argv=None) -> int:
                    help="concurrent sessions sharing one compiled engine")
     p.add_argument("--iters", type=int, default=8,
                    help="iterations per session")
+    p.add_argument("--parallel", action="store_true",
+                   help="drive the sessions thread-per-session "
+                        "(engine.parallel_run) instead of round-robin")
     p.set_defaults(fn=cmd_infer)
 
     p = sub.add_parser("policies", help="memory-policy stack per framework")

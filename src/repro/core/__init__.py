@@ -35,6 +35,7 @@ from repro.core.policy import (
     resolve_policies,
 )
 from repro.core.runtime import Executor, IterationResult, StepTrace
+from repro.core.tensor_state import SessionTensorState
 from repro.core.session import Session
 from repro.core.workspace import WorkspaceSelector, WorkspaceChoice
 
@@ -60,6 +61,7 @@ __all__ = [
     "Executor",
     "IterationResult",
     "StepTrace",
+    "SessionTensorState",
     "Session",
     "WorkspaceSelector",
     "WorkspaceChoice",

@@ -41,7 +41,7 @@ class TensorCache:
     * ``"lfu"``  — least frequently used first (touch counts).
     """
 
-    def __init__(self, policy: str = "lru") -> None:
+    def __init__(self, policy: str = "lru", state=None) -> None:
         if policy not in ("lru", "fifo", "lfu"):
             raise ValueError(f"unknown cache policy {policy!r}")
         self.policy = policy
@@ -52,6 +52,13 @@ class TensorCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # lock bits are session state, not descriptor state: the victim
+        # filter consults the owning session's SessionTensorState
+        self._state = state
+
+    def bind_state(self, state) -> None:
+        """Attach the session's tensor-state table (lock-bit source)."""
+        self._state = state
 
     # -- membership ------------------------------------------------------
     def insert(self, t: Tensor) -> None:
@@ -95,10 +102,20 @@ class TensorCache:
         bytes it released.  Returns total bytes freed (may fall short if
         everything left is locked — caller decides whether that is OOM).
         """
+        if self._state is None:
+            # Alg. 2's lock check is load-bearing: evicting a tensor a
+            # kernel has pinned corrupts the run.  An unbound cache
+            # cannot consult the lock bits, so fail loud here rather
+            # than silently treating everything as evictable.
+            raise RuntimeError(
+                "TensorCache has no SessionTensorState bound; pass "
+                "state= at construction or call bind_state() before "
+                "evict_for()")
         freed = 0
+        locked = self._state.locked
         # collect victims first because offload_cb mutates the map
         victims: List[Tensor] = [
-            t for t in self._victim_order() if not t.locked
+            t for t in self._victim_order() if not locked(t)
         ]
         for t in victims:
             if freed >= nbytes:

@@ -23,50 +23,126 @@ compiled artifact.  Per execution mode it owns:
 own device substrate — GPU ledger, timeline/clock, DMA engine,
 allocator, tensor store — but links the shared plans into its executor
 and replays them from iteration 0.  N serving sessions pay the
-planning cost exactly once (``engine.compile_count`` proves it).
+planning cost exactly once (``engine.compile_count`` proves it), and
+the mode-independent groundwork — the Alg. 1 topological order, the
+expensive graph walk of route construction — is shared even *across*
+modes: compiling ``train`` and ``infer`` runs one base planning pass
+plus one cheap per-mode scout each (``mode_compile_count``).
 
 What is shared vs per-session
 -----------------------------
-Shared (read-only after compile): the built net topology, parameter
+Shared (read-only after compile): the built net topology, its tensor
+*descriptors* (immutable identity: shape, bytes, name), parameter
 *values* (serving replicas share weights), routes, liveness/recompute
 plans, gathered policy decisions.  Per-session: the entire device
-substrate, policy instances (LRU cache state, workspace selectors),
-iteration results, and every activation payload.  Sessions interleave
-safely at iteration granularity — each iteration starts and ends at
-the settled state (parameters resident, every activation freed), which
-the executor's end-of-iteration leak check enforces.  Concurrent
-*training* sessions with optimizers would race on the shared weights;
-use separate engines (or nets) for that.
+substrate, every piece of mutable tensor state — placement, locks,
+host residency, prefetch arrivals — which lives in the executor's
+:class:`~repro.core.tensor_state.SessionTensorState` table, policy
+instances (LRU cache state, workspace selectors), iteration results,
+activation payloads, and the per-iteration label/loss flow (threaded
+through each session's own ``LayerContext``).
+
+Because no executor ever mutates a descriptor, sessions are free to
+run **concurrently at op granularity**: :meth:`Engine.parallel_run`
+drives one thread per session and produces results bit-identical to
+running the same sessions sequentially (``tests/test_parallel_sessions.py``
+proves both the isolation and the equivalence).  The remaining
+shared-mutable surfaces are the parameter values themselves and any
+*stateful* data provider: concurrent *training* sessions with
+optimizers would race on the shared weights (and concrete train
+sessions on BN running statistics) — use separate engines for that;
+``parallel_run`` rejects the concrete-train case.  The bundled
+``synthetic_provider`` is a pure function of the iteration number and
+therefore parallel-safe; custom providers must be too.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+    wait as futures_wait,
+)
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from time import monotonic
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import RuntimeConfig
 from repro.core.liveness import LivenessAnalysis, LivenessPlan
 from repro.core.plan import GatheredPolicy, gather_policy_plans
 from repro.core.policy import MemoryPolicy, resolve_policies
-from repro.core.recompute import RecomputePlan
-from repro.core.runtime import Executor
+from repro.core.recompute import RecomputePlan, plan_segments
+from repro.core.runtime import Executor, IterationResult
 from repro.graph.network import Net
-from repro.graph.route import ExecutionRoute
+from repro.graph.route import ExecutionRoute, forward_order
 
 #: The execution modes an engine can compile.
 MODES = ("train", "infer")
 
 
 @dataclass(frozen=True)
-class CompiledMode:
-    """One mode's immutable planning artifacts, shared by all sessions."""
+class PlanningBase:
+    """The mode-independent planning groundwork, derived once per engine.
+
+    Both execution modes walk the same forward topology, so the Alg. 1
+    DFS order — the expensive, graph-walking part of route
+    construction — runs in ONE shared pass and feeds both mode
+    compiles (the ROADMAP's "batched compile" item).  Per-step
+    dependency lists stay derived per route from this order, so there
+    is exactly one derivation path for them.
+    """
+
+    forward_layers: List  # read-only; shared by both routes
+
+
+@dataclass(frozen=True)
+class ModePlanning:
+    """One mode's pre-scout planning artifacts (route + analyses).
+
+    The subset of :class:`CompiledMode` that exists *before* the scout
+    iteration runs; an :class:`~repro.core.runtime.Executor` accepts it
+    via ``planning=`` to skip re-deriving route/liveness/segments while
+    still recording its own first iteration.
+    """
 
     mode: str
     route: ExecutionRoute
     recompute_plan: RecomputePlan
     liveness: LivenessAnalysis
     liveness_plan: LivenessPlan
+
+
+@dataclass(frozen=True)
+class CompiledMode:
+    """One mode's immutable planning artifacts, shared by all sessions:
+    the pre-scout :class:`ModePlanning` plus the scout-gathered policy
+    plans.  The delegating properties keep one artifact list — adding a
+    planning field touches ``ModePlanning`` alone."""
+
+    planning: ModePlanning
     gathered: Tuple[GatheredPolicy, ...]
+
+    @property
+    def mode(self) -> str:
+        return self.planning.mode
+
+    @property
+    def route(self) -> ExecutionRoute:
+        return self.planning.route
+
+    @property
+    def recompute_plan(self) -> RecomputePlan:
+        return self.planning.recompute_plan
+
+    @property
+    def liveness(self) -> LivenessAnalysis:
+        return self.planning.liveness
+
+    @property
+    def liveness_plan(self) -> LivenessPlan:
+        return self.planning.liveness_plan
 
 
 class Engine:
@@ -84,8 +160,18 @@ class Engine:
         # later caller-side mutation must not desync them from workers
         self.config = replace(config) if config is not None \
             else RuntimeConfig()
+        #: shared base planning passes (the Alg. 1 topological order).
+        #: At most 1, however many modes compile — the tests assert
+        #: train+infer share one planning pass.
         self.compile_count = 0
+        #: per-mode scout compiles (≤ 1 per entry of :data:`MODES`).
+        self.mode_compile_count = 0
+        self._base: Optional[PlanningBase] = None
         self._compiled: Dict[str, CompiledMode] = {}
+        # sessions may be driven from user threads that trigger the
+        # lazy compile concurrently; the lock keeps "one planning pass"
+        # true under races instead of letting two threads plan twice
+        self._compile_lock = threading.Lock()
 
     # ------------------------------------------------------------- compiling
     def compiled(self, mode: str = "train") -> CompiledMode:
@@ -94,30 +180,53 @@ class Engine:
             raise ValueError(f"unknown execution mode {mode!r}; "
                              f"expected one of {MODES}")
         cm = self._compiled.get(mode)
-        if cm is None:
-            cm = self._compile_mode(mode)
-            self._compiled[mode] = cm
-            self.compile_count += 1
+        if cm is not None:  # fast path: no lock once compiled
+            return cm
+        with self._compile_lock:
+            cm = self._compiled.get(mode)
+            if cm is None:
+                cm = self._compile_mode(mode)
+                self._compiled[mode] = cm
+                self.mode_compile_count += 1
         return cm
+
+    def _planning_base(self) -> PlanningBase:
+        """The ONE shared planning pass (lazy; counted)."""
+        if self._base is None:
+            self._base = PlanningBase(forward_layers=forward_order(self.net))
+            self.compile_count += 1
+        return self._base
+
+    def _mode_planning(self, mode: str) -> ModePlanning:
+        """Route + analyses for one mode, on top of the shared base."""
+        base = self._planning_base()
+        eff = self.config.for_mode(mode)
+        route = ExecutionRoute(self.net, training=(mode == "train"),
+                               forward_layers=base.forward_layers)
+        recompute_plan = plan_segments(route, eff.recompute,
+                                       self.net.max_layer_bytes())
+        liveness = LivenessAnalysis(route, eff, recompute_plan)
+        return ModePlanning(mode=mode, route=route,
+                            recompute_plan=recompute_plan,
+                            liveness=liveness,
+                            liveness_plan=liveness.compile())
 
     def _compile_mode(self, mode: str) -> CompiledMode:
         # The scout records one fresh iteration in simulated mode: the
         # allocator landscape (hence workspace picks), liveness frees,
         # offload/prefetch schedules, and recompute cleanup are
         # identical to a concrete run's, but no payload is ever touched.
+        # It reuses the shared base planning (route order + forward
+        # dependency scan) instead of re-deriving it per mode.
+        planning = self._mode_planning(mode)
         scout_cfg = replace(self.config.for_mode(mode),
                             concrete=False, collect_traces=False,
                             steady_state_replay=True)
-        with Executor(self.net, scout_cfg, mode=mode) as scout:
+        with Executor(self.net, scout_cfg, mode=mode,
+                      planning=planning) as scout:
             scout.run_iteration(0)
-            return CompiledMode(
-                mode=mode,
-                route=scout.route,
-                recompute_plan=scout.recompute_plan,
-                liveness=scout.liveness,
-                liveness_plan=scout.plan,
-                gathered=gather_policy_plans(scout),
-            )
+            return CompiledMode(planning=planning,
+                                gathered=gather_policy_plans(scout))
 
     # -------------------------------------------------------------- spawning
     def executor(self, mode: str = "train", precompiled: bool = True,
@@ -143,6 +252,102 @@ class Engine:
         """Spawn a lightweight session sharing this engine's plans."""
         from repro.core.session import Session  # lazy: avoid cycle
         return Session(engine=self, mode=mode)
+
+    # ----------------------------------------------------------- concurrency
+    def parallel_run(self, sessions: Sequence, iters: int,
+                     start_iteration: int = 0,
+                     timeout: Optional[float] = None
+                     ) -> List[List[IterationResult]]:
+        """Drive N sessions concurrently, one thread per session.
+
+        Threads interleave at *op* granularity (wherever the
+        interpreter switches them): safe because every piece of mutable
+        tensor state is session-local (``SessionTensorState``), so the
+        per-session result lists returned here are **bit-identical** to
+        running the same sessions one after another.  That guarantee
+        assumes the data layer's ``provider`` is a pure function of the
+        iteration number (the default ``synthetic_provider`` is); a
+        stateful provider — a dataset cursor, an impure rng — lives on
+        the shared layer and would hand interleaved batches to
+        concurrent sessions.
+
+        ``sessions`` must come from this engine's :meth:`session`.
+        Sim-mode train sessions may run in parallel (they never touch
+        parameter values); *concrete* train sessions are rejected —
+        they would race on the shared weights and BN running
+        statistics.  ``timeout`` (seconds, one shared deadline covering
+        every session) turns a hung session into a loud
+        ``TimeoutError`` instead of a silent stall.  The hung worker
+        threads are abandoned, not joined — note they are non-daemon,
+        so a truly wedged session still blocks *interpreter exit*;
+        pair the timeout with a process-level kill (CI
+        ``timeout-minutes``, or ``os._exit`` as the stress gate does)
+        when a hang must not outlive the error.
+        """
+        sessions = list(sessions)
+        if not sessions:
+            return []
+        if len({id(s) for s in sessions}) != len(sessions):
+            raise ValueError(
+                "parallel_run needs distinct sessions: driving one "
+                "session from two threads would share its executor's "
+                "session-local state")
+        for s in sessions:
+            if s.engine is not self:
+                raise ValueError(
+                    "parallel_run drives sessions of THIS engine; spawn "
+                    "them with engine.session(...)")
+            if s.mode == "train" and self.config.concrete:
+                raise TypeError(
+                    "concrete train-mode sessions share parameter values "
+                    "and BN running statistics; drive them sequentially "
+                    "or give each its own engine")
+        # Compile + substrate construction happen serially up front:
+        # the lazy compile cache is engine state, and building here
+        # keeps the worker threads pure run loops over session-local
+        # state (the one remaining shared write, lazy parameter-value
+        # materialization, is value-deterministic either way).
+        for s in sessions:
+            s.executor
+
+        # No context manager here: its shutdown(wait=True) would block
+        # on a hung worker thread and swallow the very TimeoutError the
+        # timeout promises.  One shared deadline covers all sessions;
+        # FIRST_EXCEPTION surfaces a crashed session immediately
+        # instead of hiding it behind slow (or hung) siblings; on
+        # timeout the pool is abandoned (wait=False) so the error
+        # propagates immediately (the CI job timeout reaps the rest).
+        pool = ThreadPoolExecutor(max_workers=len(sessions),
+                                  thread_name_prefix="repro-session")
+        deadline = None if timeout is None else monotonic() + timeout
+        futures = [pool.submit(s.run, iters,
+                               start_iteration=start_iteration)
+                   for s in sessions]
+        try:
+            done, not_done = futures_wait(futures, timeout=timeout,
+                                          return_when=FIRST_EXCEPTION)
+            failed = next((f for f in done
+                           if f.exception() is not None), None)
+            if failed is not None and not_done:
+                # a session crashed while siblings still run: let the
+                # healthy ones finish so the caller's session.close()
+                # cannot race their in-flight iterations — but bound
+                # the drain (grace period when no deadline exists), or
+                # a hung sibling would suppress the captured error
+                # forever
+                remaining = 60.0 if deadline is None \
+                    else max(0.0, deadline - monotonic())
+                futures_wait(not_done, timeout=remaining)
+            if failed is not None:
+                failed.result()  # re-raise the session's real error
+            if not_done:
+                raise FuturesTimeoutError(
+                    f"{len(not_done)}/{len(futures)} sessions still "
+                    f"running after {timeout}s")
+            return [f.result() for f in futures]
+        finally:
+            hung = any(not f.done() for f in futures)
+            pool.shutdown(wait=not hung, cancel_futures=True)
 
     # ------------------------------------------------------------ inspection
     @property

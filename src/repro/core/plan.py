@@ -44,7 +44,7 @@ from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
 from repro.core.workspace import WorkspaceChoice
 from repro.graph.route import Phase, Step
 from repro.layers.data import DataLayer
-from repro.tensors.tensor import Placement, Tensor
+from repro.tensors.tensor import Tensor
 
 #: A hook-site closure: ``op(ctx, step)``, prebound to executor internals.
 StepOp = Callable[[object, Step], None]
@@ -218,10 +218,11 @@ def _make_frees_op(ex, frees: Tuple[Tensor, ...]) -> StepOp:
 
 def _make_discards_op(ex, tensors: Tuple[Tensor, ...]) -> StepOp:
     discard = ex._discard
+    state = ex.state
 
     def op(ctx, step):
         for t in tensors:
-            if t.is_live:
+            if state.is_live(t):
                 discard(t)
     return op
 
@@ -240,14 +241,14 @@ def _make_prefetch_op(
     ex, entries: Tuple[Tuple[Tensor, Optional[Tensor]], ...]
 ) -> StepOp:
     prefetch = ex._prefetch_async
-    HOST = Placement.HOST
+    state = ex.state  # session-local: the guards read THIS session's view
 
     def op(ctx, step):
         for t, anchor in entries:
-            if t.placement is HOST:
+            if state.on_host(t):
                 prefetch(t)
-            elif anchor is not None and not t.is_live \
-                    and anchor.placement is HOST:
+            elif anchor is not None and not state.is_live(t) \
+                    and state.on_host(anchor):
                 prefetch(anchor)
     return op
 

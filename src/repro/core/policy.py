@@ -56,7 +56,7 @@ from repro.graph.route import Phase, Step
 from repro.layers.base import Layer, LayerContext
 from repro.layers.conv import Conv2D
 from repro.mempool.allocator import Allocation
-from repro.tensors.tensor import Placement, Tensor, TensorKind
+from repro.tensors.tensor import Tensor, TensorKind
 
 
 class StepContext:
@@ -90,6 +90,16 @@ class StepContext:
         self._scratch.clear()
 
     # -- read-only views ----------------------------------------------------
+    @property
+    def state(self):
+        """This session's :class:`~repro.core.tensor_state.SessionTensorState`.
+
+        The ONE place policies read/write per-tensor scheduling state
+        (placement, locks, host residency).  Descriptors are shared by
+        every session of an engine; this table is not.
+        """
+        return self._ex.state
+
     @property
     def config(self) -> RuntimeConfig:
         return self._ex.config
@@ -458,6 +468,10 @@ class OffloadCachePolicy(MemoryPolicy):
         mode = f"cache={self.cache.policy}" if self.cache_mode else "eager"
         return f"offload({mode})"
 
+    def bind(self, ctx: StepContext) -> None:
+        # the cache's victim filter consults this session's lock bits
+        self.cache.bind_state(ctx.state)
+
     # -- hooks ---------------------------------------------------------------
     def before_step(self, ctx: StepContext, step: Step) -> None:
         ctx.reap_offloads()
@@ -487,18 +501,18 @@ class OffloadCachePolicy(MemoryPolicy):
         nxt = step.index + 1
         if nxt >= len(ctx.route.steps):
             return
+        state = ctx.state
         for t in ctx.reads_at(nxt, include_synthetic=False):
-            if t.placement is Placement.HOST:
+            if state.on_host(t):
                 ctx.prefetch(t)
-            elif (not t.is_live
+            elif (not state.is_live(t)
                   and t.tensor_id in ctx.plan.recompute_covered):
                 # the next step will trigger a segment recompute; start
                 # fetching its anchor now so the chain doesn't stall
                 producer = ctx.net.layers[t.producer]
                 anchor = ctx.recompute_plan.anchor_output_of(
                     producer.layer_id)
-                if anchor is not None \
-                        and anchor.placement is Placement.HOST:
+                if anchor is not None and state.on_host(anchor):
                     ctx.prefetch(anchor)
 
     # -- cache membership ----------------------------------------------------
@@ -666,9 +680,10 @@ class RecomputePolicy(MemoryPolicy):
         """Free transients and expired speed-centric persistents."""
         if not self._transient and not self._kept:
             return
+        state = ctx.state
         dropped: List[Tensor] = []
         for t in self._transient:
-            if t.is_live:
+            if state.is_live(t):
                 ctx.discard(t)
                 dropped.append(t)
         self._transient.clear()
@@ -676,7 +691,7 @@ class RecomputePolicy(MemoryPolicy):
                    if fa <= step.index]
         for tid in expired:
             t, _fa = self._kept.pop(tid)
-            if t.is_live:
+            if state.is_live(t):
                 ctx.discard(t)
                 dropped.append(t)
         if dropped:
@@ -702,7 +717,7 @@ class RecomputePolicy(MemoryPolicy):
         """Make every tensor in ``missing`` resident by recomputation."""
         plan = ctx.recompute_plan
         for t in missing:
-            if t.is_live:
+            if ctx.state.is_live(t):
                 continue
             producer = ctx.net.layers[t.producer]
             if not producer.is_recomputable:
@@ -726,7 +741,7 @@ class RecomputePolicy(MemoryPolicy):
             return
         self._materialized.add(id(seg))
         for member in seg.members:
-            if member.output is not None and member.output.is_live:
+            if member.output is not None and ctx.state.is_live(member.output):
                 continue
             self._run_forward(ctx, member)
             bstep = ctx.route.bstep_of[member.layer_id]
@@ -743,8 +758,9 @@ class RecomputePolicy(MemoryPolicy):
         backward) implies their runtime releases it too.
         """
         out = seg.anchor.output
-        if out is not None and out.on_gpu and out.host_resident \
-                and not out.locked:
+        state = ctx.state
+        if out is not None and state.on_gpu(out) \
+                and state.host_resident(out) and not state.locked(out):
             ctx.release_gpu(out)
 
     def _chain_to(self, ctx: StepContext, target_layer: Layer,
@@ -752,9 +768,10 @@ class RecomputePolicy(MemoryPolicy):
         """Memory-centric: rebuild anchor→target, dropping intermediates
         as soon as their chain consumer has run."""
         chain = self._chain_layers(ctx, target_layer)
+        state = ctx.state
         produced: List[Tensor] = []
         for i, member in enumerate(chain):
-            if member.output is not None and member.output.is_live:
+            if member.output is not None and state.is_live(member.output):
                 continue
             self._run_forward(ctx, member)
             produced.append(member.output)
@@ -772,7 +789,7 @@ class RecomputePolicy(MemoryPolicy):
                 ctx.discard(t)
                 produced.remove(t)
         # whatever remains (the targets) lives only through this step
-        self._transient.extend(p for p in produced if p.is_live)
+        self._transient.extend(p for p in produced if state.is_live(p))
         self._release_offloaded_anchor(
             ctx, ctx.recompute_plan.segment_of[target_layer.layer_id])
 
@@ -790,15 +807,16 @@ class RecomputePolicy(MemoryPolicy):
 
     # -- the actual re-execution ---------------------------------------------
     def _run_forward(self, ctx: StepContext, layer: Layer) -> None:
+        state = ctx.state
         for p in layer.prev:
-            if not p.output.is_live:
+            if not state.is_live(p.output):
                 # nested dependency (e.g. a join reading another branch):
                 # resolve recursively through the normal path
                 self.ensure(ctx, [p.output])
             ctx.make_resident(p.output)
-            p.output.lock()
+            state.lock(p.output)
         ctx.alloc_tensor(layer.output)
-        layer.output.lock()
+        state.lock(layer.output)
         ctx.submit_compute(
             layer.sim_time_forward(ctx.model),
             f"recompute:{layer.name}",
@@ -808,8 +826,8 @@ class RecomputePolicy(MemoryPolicy):
             out = layer.forward(ins, ctx.layer_ctx)
             ctx.store.put(layer.output, out)
         for p in layer.prev:
-            p.output.unlock()
-        layer.output.unlock()
+            state.unlock(p.output)
+        state.unlock(layer.output)
         self.extra_forwards += 1
 
 

@@ -48,6 +48,7 @@ from repro.core.plan import (
 )
 from repro.core.policy import MemoryPolicy, StepContext, resolve_policies
 from repro.core.recompute import plan_segments
+from repro.core.tensor_state import SessionTensorState
 from repro.core.workspace import WorkspaceChoice
 from repro.device.dma import CopyDirection, DMAEngine
 from repro.device.fabric import MemoryFabric
@@ -176,7 +177,17 @@ class Executor:
     (shared route/liveness/recompute artifacts plus gathered policy
     plans) from a compile-once :class:`~repro.core.engine.Engine`: the
     executor then skips its own planning entirely and replays the
-    linked plan from iteration 0.
+    linked plan from iteration 0.  ``planning`` injects only the
+    pre-scout artifacts (:class:`~repro.core.engine.ModePlanning`) —
+    the executor skips route/liveness/segmentation derivation but still
+    records its own first iteration (the engine's scout path).
+
+    Every piece of *mutable* per-tensor state — placement, cache locks,
+    host residency, prefetch arrivals — lives in :attr:`state`, a
+    :class:`~repro.core.tensor_state.SessionTensorState` owned by this
+    executor alone.  Descriptors are immutable identity, so any number
+    of executors can run the same net concurrently (thread-per-session;
+    see :meth:`~repro.core.engine.Engine.parallel_run`).
     """
 
     def __init__(
@@ -186,6 +197,7 @@ class Executor:
         policies: Optional[Sequence[MemoryPolicy]] = None,
         mode: str = "train",
         compiled=None,
+        planning=None,
     ):
         self.net = net.build()
         base_config = config or RuntimeConfig()
@@ -213,17 +225,20 @@ class Executor:
             self.allocator = CudaAllocator(self.gpu, self.timeline)
         self.store = ArrayStore() if self.concrete else NullStore()
 
-        if compiled is not None:
-            if compiled.mode != mode:
+        if compiled is not None and planning is not None:
+            raise TypeError("pass either compiled or planning, not both")
+        artifacts = compiled if compiled is not None else planning
+        if artifacts is not None:
+            if artifacts.mode != mode:
                 raise ValueError(
-                    f"compiled artifacts are for mode {compiled.mode!r}, "
+                    f"compiled artifacts are for mode {artifacts.mode!r}, "
                     f"executor runs {mode!r}"
                 )
             # engine workers share the read-only planning artifacts
-            self.route = compiled.route
-            self.recompute_plan = compiled.recompute_plan
-            self.liveness = compiled.liveness
-            self.plan: LivenessPlan = compiled.liveness_plan
+            self.route = artifacts.route
+            self.recompute_plan = artifacts.recompute_plan
+            self.liveness = artifacts.liveness
+            self.plan: LivenessPlan = artifacts.liveness_plan
         else:
             self.route = ExecutionRoute(self.net, training=self.training)
             self.recompute_plan = plan_segments(
@@ -233,6 +248,11 @@ class Executor:
                                              self.recompute_plan)
             self.plan = self.liveness.compile()
         self._precompiled = compiled
+
+        # ALL executor-mutated tensor state is session-local: this table
+        # (placement, locks, host residency, arrivals, live set) is what
+        # lets N executors share one net's descriptors concurrently.
+        self.state = SessionTensorState()
 
         # the policy stack (ordered; dispatch order is semantic)
         self.policies: List[MemoryPolicy] = (
@@ -265,8 +285,6 @@ class Executor:
         # runtime state
         self._alloc_of: Dict[int, Allocation] = {}
         self._pending: List[_PendingOffload] = []
-        self._arrivals: Dict[int, Event] = {}
-        self._live: Set[int] = set()
         self._stall = 0.0
         self.param_bytes = 0
         self._allocate_params()
@@ -325,7 +343,9 @@ class Executor:
         if self._offload_policy is not None:
             return self._offload_policy.cache
         if self._fallback_cache is None:
-            self._fallback_cache = TensorCache()
+            # bound to this session's state so evict_for on the dormant
+            # cache stays a harmless no-op instead of raising unbound
+            self._fallback_cache = TensorCache(state=self.state)
         return self._fallback_cache
 
     @property
@@ -364,12 +384,13 @@ class Executor:
 
     # ------------------------------------------------------------------ params
     def _allocate_params(self) -> None:
+        state = self.state
         for layer in self.net.layers:
             for p in layer.params:
                 a = self.allocator.alloc(p.nbytes, tag=p.name)
                 self._alloc_of[p.tensor_id] = a
-                p.placement = Placement.GPU
-                p.lock()  # params are never evictable
+                state.set_placement(p, Placement.GPU)
+                state.lock(p)  # params are never evictable
                 self.param_bytes += p.nbytes
 
     def close(self) -> None:
@@ -396,10 +417,10 @@ class Executor:
         except OutOfMemoryError:
             a = self._alloc_under_pressure(t.nbytes, t.name)
         self._alloc_of[t.tensor_id] = a
-        t.placement = Placement.GPU
+        self.state.set_placement(t, Placement.GPU)
         kind = t.kind
         if kind is TensorKind.DATA or kind is TensorKind.GRAD:
-            self._live.add(t.tensor_id)
+            self.state.add_live(t)
         if self._active_listeners["on_tensor_resident"]:
             self._dispatch("on_tensor_resident", t, "alloc")
         return a
@@ -427,39 +448,41 @@ class Executor:
 
     def _free_gpu_only(self, t: Tensor) -> None:
         """Drop the GPU copy; host copy (if any) keeps the tensor live."""
+        state = self.state
         a = self._alloc_of.pop(t.tensor_id, None)
         if a is not None:
             self.allocator.free(a)
         if self._active_listeners["on_tensor_released"]:
             self._dispatch("on_tensor_released", t)
-        if t.host_resident:
+        if state.host_resident(t):
             # keep the bytes: they may still be device-side if the D2H
             # copy that made the host reservation has not been reaped
             self.store.move_to_host(t)
-            t.placement = Placement.HOST
+            state.set_placement(t, Placement.HOST)
         else:
             self.store.drop_device(t)
-            t.placement = Placement.FREED
-        if not t.is_live:
-            self._live.discard(t.tensor_id)
+            state.set_placement(t, Placement.FREED)
+        if not state.is_live(t):
+            state.discard_live(t)
 
     def _discard(self, t: Tensor) -> None:
         """Free a tensor everywhere (GPU, host, payloads)."""
         if t.kind is TensorKind.PARAM:
             return
+        state = self.state
         a = self._alloc_of.pop(t.tensor_id, None)
         if a is not None:
             self.allocator.free(a)
         if self._active_listeners["on_tensor_dead"]:
             self._dispatch("on_tensor_dead", t)
-        if t.host_resident:
+        if state.host_resident(t):
             self.fabric.evict(t.tensor_id)
-            t.host_resident = False
+            state.set_host_resident(t, False)
         self.store.drop(t)
-        if self._arrivals:
-            self._arrivals.pop(t.tensor_id, None)
-        t.placement = Placement.FREED
-        self._live.discard(t.tensor_id)
+        if state.any_arrivals:
+            state.pop_arrival(t)
+        state.set_placement(t, Placement.FREED)
+        state.discard_live(t)
 
     # ---------------------------------------------------------------- movement
     def _evict_to_host(self, t: Tensor) -> int:
@@ -469,14 +492,14 @@ class Executor:
                                  label=f"evict:{t.name}",
                                  rate_scale=pool.d2h_scale)
         self._stall += self.timeline.sync(Stream.COMPUTE, ev)
-        t.host_resident = True
+        self.state.set_host_resident(t, True)
         self.store.move_to_host(t)
         a = self._alloc_of.pop(t.tensor_id, None)
         freed = 0
         if a is not None:
             self.allocator.free(a)
             freed = a.nbytes
-        t.placement = Placement.HOST
+        self.state.set_placement(t, Placement.HOST)
         return freed
 
     def _offload_async(self, t: Tensor, after: Optional[List[Event]] = None) -> None:
@@ -485,7 +508,7 @@ class Executor:
         ev = self.dma.copy_async(t.nbytes, CopyDirection.D2H,
                                  label=f"offload:{t.name}", after=after,
                                  rate_scale=pool.d2h_scale)
-        t.host_resident = True
+        self.state.set_host_resident(t, True)
         a = self._alloc_of.get(t.tensor_id)
         if a is None:
             return
@@ -517,12 +540,13 @@ class Executor:
         self.store.move_to_host(t)
         if self._active_listeners["on_tensor_released"]:
             self._dispatch("on_tensor_released", t)
-        t.placement = Placement.HOST
+        self.state.set_placement(t, Placement.HOST)
 
     def _prefetch_async(self, t: Tensor) -> bool:
         """Start bringing a host tensor back; returns False if no room."""
-        if t.placement is not Placement.HOST or t.tensor_id in self._arrivals:
-            return t.tensor_id in self._arrivals
+        state = self.state
+        if not state.on_host(t) or state.arrival_pending(t):
+            return state.arrival_pending(t)
         try:
             a = self.allocator.alloc(t.nbytes, tag=f"prefetch:{t.name}")
         except OutOfMemoryError:
@@ -532,8 +556,8 @@ class Executor:
         ev = self.dma.copy_async(t.nbytes, CopyDirection.H2D,
                                  label=f"prefetch:{t.name}",
                                  rate_scale=pool.h2d_scale if pool else 1.0)
-        self._arrivals[t.tensor_id] = ev
-        t.placement = Placement.GPU
+        state.set_arrival(t, ev)
+        state.set_placement(t, Placement.GPU)
         self.store.move_to_gpu(t)
         if self._active_listeners["on_tensor_resident"]:
             self._dispatch("on_tensor_resident", t, "prefetch")
@@ -541,15 +565,17 @@ class Executor:
 
     def _make_gpu_resident(self, t: Tensor) -> None:
         """Block until ``t`` is usable on the GPU."""
-        if t.placement is Placement.GPU:
-            if self._arrivals:
-                ev = self._arrivals.pop(t.tensor_id, None)
+        state = self.state
+        placement = state.placement(t)
+        if placement is Placement.GPU:
+            if state.any_arrivals:
+                ev = state.pop_arrival(t)
                 if ev is not None:
                     self._stall += self.timeline.sync(Stream.COMPUTE, ev)
             if self._active_listeners["on_tensor_access"]:
                 self._dispatch("on_tensor_access", t)
             return
-        if t.placement is Placement.HOST:
+        if placement is Placement.HOST:
             a = self._gpu_alloc_tensor(t)  # may evict/reap
             pool = self.fabric.pool_of(t.tensor_id)
             ev = self.dma.copy_async(
@@ -557,10 +583,10 @@ class Executor:
                 rate_scale=pool.h2d_scale if pool else 1.0)
             self._stall += self.timeline.sync(Stream.COMPUTE, ev)
             self.store.move_to_gpu(t)
-            t.placement = Placement.GPU
+            state.set_placement(t, Placement.GPU)
             return
         raise RuntimeError(
-            f"tensor {t.name} is {t.placement.value}; cannot make resident"
+            f"tensor {t.name} is {placement.value}; cannot make resident"
         )
 
     # ------------------------------------------------------------------- grads
@@ -653,10 +679,9 @@ class Executor:
         self.timeline.sync_all()
         self._end_of_iteration_cleanup()
 
-        loss = None
-        ll = self.net.loss_layer
-        if ll is not None:
-            loss = ll.last_loss
+        # the loss travels through the per-session LayerContext (shared
+        # SoftmaxLoss objects would race under concurrent sessions)
+        loss = ctx.layer_ctx.last_loss
         hits1, miss1, ev1 = self._cache_counters()
         return IterationResult(
             iteration=iteration,
@@ -705,7 +730,7 @@ class Executor:
                     activation_high=high - self.param_bytes,
                     activation_settled=self.allocator.used_bytes
                     - self.param_bytes,
-                    live_tensors=len(self._live),
+                    live_tensors=self.state.live_count(),
                     workspace=ws,
                 ))
         return traces
@@ -741,7 +766,7 @@ class Executor:
                     used_settled=settled,
                     activation_high=high - param_bytes,
                     activation_settled=settled - param_bytes,
-                    live_tensors=len(self._live),
+                    live_tensors=self.state.live_count(),
                     workspace=ws,
                 ))
         return traces
@@ -749,12 +774,13 @@ class Executor:
     def _replay_forward(self, cs: CompiledStep, ctx: StepContext
                         ) -> Optional[WorkspaceChoice]:
         layer = cs.layer
+        state = self.state
         for t in cs.reads:
             self._make_gpu_resident(t)
-            t.locked = True
+            state.lock(t)
         out = cs.output
         self._gpu_alloc_tensor(out)
-        out.locked = True
+        state.lock(out)
 
         for fn in cs.compute_ops:
             fn(ctx, cs.step)
@@ -772,8 +798,8 @@ class Executor:
 
         self._free_step_scratch(ctx)
         for t in cs.reads:
-            t.locked = False
-        out.locked = False
+            state.unlock(t)
+        state.unlock(out)
         return ctx.step_workspace
 
     def _replay_backward(self, cs: CompiledStep, ctx: StepContext, optimizer
@@ -781,10 +807,11 @@ class Executor:
         if cs.is_data:
             return None
         layer = cs.layer
-        missing = [t for t in cs.reads if not t.is_live]
+        state = self.state
+        missing = [t for t in cs.reads if not state.is_live(t)]
         if missing:
             self._dispatch("on_backward_need", cs.step, missing)
-            still = [t for t in missing if not t.is_live]
+            still = [t for t in missing if not state.is_live(t)]
             if still:
                 raise RuntimeError(
                     f"backward of {layer.name} needs freed tensors "
@@ -792,14 +819,14 @@ class Executor:
                 )
         for t in cs.reads:
             self._make_gpu_resident(t)
-            t.locked = True
+            state.lock(t)
 
         if cs.has_grad_in:
             self._ensure_grad(layer.grad_output)
-            layer.grad_output.locked = True
+            state.lock(layer.grad_output)
         for p in cs.grad_targets:
             self._ensure_grad(p.grad_output)
-            p.grad_output.locked = True
+            state.lock(p.grad_output)
         for g in cs.param_grads:
             self._gpu_alloc_tensor(g)
 
@@ -815,24 +842,25 @@ class Executor:
 
         self._free_step_scratch(ctx)
         for t in cs.reads:
-            t.locked = False
+            state.unlock(t)
         if cs.has_grad_in:
-            layer.grad_output.locked = False
+            state.unlock(layer.grad_output)
         for p in cs.grad_targets:
-            p.grad_output.locked = False
+            state.unlock(p.grad_output)
         return ctx.step_workspace
 
     def _end_of_iteration_cleanup(self) -> None:
+        state = self.state
         for t in self._cleanup_tensors:
             if t.tensor_id in self._alloc_of:
                 self._discard(t)
         for t in self._hosted_candidates:
-            if t.host_resident:
+            if state.host_resident(t):
                 self._discard(t)
         # prefetch arrival events are all complete after the barrier;
         # drop them so no stale entry can satisfy a later iteration's
         # in-flight check without a copy actually running
-        self._arrivals.clear()
+        state.clear_arrivals()
         residual = self.allocator.used_bytes - self.param_bytes
         if residual != 0:
             raise RuntimeError(
@@ -848,12 +876,13 @@ class Executor:
     def _forward_step(self, step: Step, ctx: StepContext
                       ) -> Optional[WorkspaceChoice]:
         layer = step.layer
+        state = self.state
         reads = self.route.forward_reads(layer)
         for t in reads:
             self._make_gpu_resident(t)
-            t.lock()
+            state.lock(t)
         self._gpu_alloc_tensor(layer.output)
-        layer.output.lock()
+        state.lock(layer.output)
 
         self._dispatch("before_compute", step)
         duration = ctx.step_duration if ctx.step_duration is not None \
@@ -870,8 +899,8 @@ class Executor:
 
         self._free_step_scratch(ctx)
         for t in reads:
-            t.unlock()
-        layer.output.unlock()
+            state.unlock(t)
+        state.unlock(layer.output)
         return ctx.step_workspace
 
     def _backward_step(
@@ -881,11 +910,12 @@ class Executor:
         if isinstance(layer, DataLayer):
             return None
 
+        state = self.state
         fw_needed = self.route.backward_reads(layer)
-        missing = [t for t in fw_needed if not t.is_live]
+        missing = [t for t in fw_needed if not state.is_live(t)]
         if missing:
             self._dispatch("on_backward_need", step, missing)
-            still = [t for t in missing if not t.is_live]
+            still = [t for t in missing if not state.is_live(t)]
             if still:
                 raise RuntimeError(
                     f"backward of {layer.name} needs freed tensors "
@@ -893,17 +923,17 @@ class Executor:
                 )
         for t in fw_needed:
             self._make_gpu_resident(t)
-            t.lock()
+            state.lock(t)
 
         has_grad_in = bool(layer.next)
         if has_grad_in:
             self._ensure_grad(layer.grad_output)
-            layer.grad_output.lock()
+            state.lock(layer.grad_output)
 
         grad_targets = [p for p in layer.prev if not isinstance(p, DataLayer)]
         for p in grad_targets:
             self._ensure_grad(p.grad_output)
-            p.grad_output.lock()
+            state.lock(p.grad_output)
         for g in layer.param_grads:
             self._gpu_alloc_tensor(g)
 
@@ -918,11 +948,11 @@ class Executor:
 
         self._free_step_scratch(ctx)
         for t in fw_needed:
-            t.unlock()
+            state.unlock(t)
         if has_grad_in:
-            layer.grad_output.unlock()
+            state.unlock(layer.grad_output)
         for p in grad_targets:
-            p.grad_output.unlock()
+            state.unlock(p.grad_output)
 
         return ctx.step_workspace
 

@@ -43,7 +43,7 @@ class Net:
         return layer
 
     def build(self) -> "Net":
-        """Infer every shape, create descriptors, wire the loss labels."""
+        """Infer every shape and create the tensor descriptors."""
         if self._built:
             return self
         data_layers = [l for l in self.layers if isinstance(l, DataLayer)]
@@ -55,9 +55,10 @@ class Net:
             if not isinstance(layer, DataLayer) and not layer.prev:
                 raise ValueError(f"layer {layer.name} has no inputs")
             layer.build()
-        for layer in self.layers:
-            if isinstance(layer, SoftmaxLoss):
-                layer.set_label_source(data_layers[0])
+        # (No label-source wiring: labels flow through the per-session
+        # LayerContext — the data layer's forward writes ctx.labels,
+        # the loss layer reads them.  set_label_source remains only for
+        # layer-level driving with a stub source.)
         self._built = True
         return self
 

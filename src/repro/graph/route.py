@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.network import Net
 from repro.layers.base import Layer
@@ -84,12 +84,19 @@ class ExecutionRoute:
     is its last *forward* consumer and liveness analysis frees it there
     (``bstep_of`` is empty — nothing may schedule against a backward
     step in this mode).
+
+    ``forward_layers`` injects a precomputed topological order (treated
+    read-only): the train and infer routes of one net share the same
+    forward order, so a compile-once engine runs Alg. 1 exactly once
+    and hands the result to both modes.
     """
 
-    def __init__(self, net: Net, training: bool = True):
+    def __init__(self, net: Net, training: bool = True,
+                 forward_layers: Optional[List[Layer]] = None):
         self.net = net
         self.training = training
-        self.forward_layers = forward_order(net)
+        self.forward_layers = forward_layers if forward_layers is not None \
+            else forward_order(net)
         n = len(self.forward_layers)
         self.steps: List[Step] = []
         for i, layer in enumerate(self.forward_layers):

@@ -59,11 +59,19 @@ class LayerContext:
     ``iteration`` seeds dropout masks so a recomputation pass replays
     exactly the same mask the original forward used — without this,
     recompute would silently change the training trajectory.
+
+    ``labels`` and ``last_loss`` thread the batch labels (set by the
+    data layer) and the scalar loss (set by the softmax layer) through
+    the iteration.  They used to live on the shared layer objects,
+    which concurrent sessions of one engine would race on; a
+    ``LayerContext`` belongs to exactly one session's iteration.
     """
 
     iteration: int = 0
     training: bool = True
     rng_salt: int = 0
+    labels: Optional["np.ndarray"] = None
+    last_loss: Optional[float] = None
 
     def layer_rng(self, layer_id: int) -> np.random.Generator:
         seed = (self.rng_salt * 1_000_003 + self.iteration) * 131_071 + layer_id

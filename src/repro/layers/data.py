@@ -37,7 +37,6 @@ class DataLayer(Layer):
         self.shape = tuple(int(d) for d in shape)
         self.num_classes = num_classes
         self.provider = provider or synthetic_provider(self.shape, num_classes)
-        self.current_labels: Optional[np.ndarray] = None
 
     def infer_shape(self, in_shapes):
         if in_shapes:
@@ -50,7 +49,10 @@ class DataLayer(Layer):
             raise ValueError(
                 f"provider returned {data.shape}, expected {self.shape}"
             )
-        self.current_labels = labels
+        # Labels travel only through the per-session LayerContext — any
+        # attribute write here would be shared mutable state racing
+        # across concurrent sessions of one engine.
+        ctx.labels = labels
         return data.astype(np.float32, copy=False)
 
     def backward(self, inputs, output, grad_out, ctx):

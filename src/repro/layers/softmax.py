@@ -12,14 +12,20 @@ from repro.layers.base import Layer, LayerType
 class SoftmaxLoss(Layer):
     """Softmax over the channel axis with cross-entropy against labels.
 
-    Labels are provided by the upstream :class:`~repro.layers.data.DataLayer`
-    (set via :meth:`set_label_source`), mirroring Caffe's two-blob loss
-    layer without adding a second edge to the scheduling graph (labels
-    are a few KB and never scheduled).
+    Labels travel through the per-iteration
+    :class:`~repro.layers.base.LayerContext` (``ctx.labels``, written by
+    the upstream :class:`~repro.layers.data.DataLayer`'s forward),
+    mirroring Caffe's two-blob loss layer without adding a second edge
+    to the scheduling graph (labels are a few KB and never scheduled).
+    A label *source* object with a ``current_labels`` attribute
+    (:meth:`set_label_source`) remains as the fallback for layer-level
+    driving without a data layer.
 
-    ``forward`` outputs the probabilities; the scalar loss is stored in
-    :attr:`last_loss`.  ``backward`` ignores ``grad_out`` (it is the
-    route's terminal) and emits ``(probs - onehot) / N``.
+    ``forward`` outputs the probabilities; the scalar loss is written
+    to ``ctx.last_loss``.  Nothing is stored on the layer itself: a
+    ``SoftmaxLoss`` is shared read-only by every concurrent session of
+    an engine.  ``backward`` ignores ``grad_out`` (it is the route's
+    terminal) and emits ``(probs - onehot) / N``.
     """
 
     ltype = LayerType.SOFTMAX
@@ -28,7 +34,6 @@ class SoftmaxLoss(Layer):
     def __init__(self, name: str):
         super().__init__(name)
         self._label_source = None
-        self.last_loss: Optional[float] = None
 
     def set_label_source(self, data_layer) -> None:
         self._label_source = data_layer
@@ -38,10 +43,14 @@ class SoftmaxLoss(Layer):
             raise ValueError(f"{self.name}: softmax takes one input")
         return in_shapes[0]
 
-    def _labels(self, n: int) -> Optional[np.ndarray]:
-        if self._label_source is None:
-            return None
-        labels = self._label_source.current_labels
+    def _labels(self, n: int, ctx=None) -> Optional[np.ndarray]:
+        # the session-local path: the data layer stores the batch labels
+        # on the per-iteration LayerContext, so concurrent sessions
+        # never read each other's batches.  Layer-level tests that call
+        # forward() without a data layer fall back to the label source.
+        labels = ctx.labels if ctx is not None else None
+        if labels is None and self._label_source is not None:
+            labels = self._label_source.current_labels
         if labels is not None and len(labels) != n:
             raise ValueError(
                 f"label batch {len(labels)} != logits batch {n}"
@@ -55,16 +64,19 @@ class SoftmaxLoss(Layer):
         shifted = logits - logits.max(axis=1, keepdims=True)
         e = np.exp(shifted)
         probs = e / e.sum(axis=1, keepdims=True)
-        labels = self._labels(n)
+        labels = self._labels(n, ctx)
         if labels is not None:
             picked = probs[np.arange(n), labels]
-            self.last_loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+            # session-local: the runtime reads the loss off the ctx; a
+            # write to self here would race across concurrent sessions
+            ctx.last_loss = float(
+                -np.log(np.clip(picked, 1e-12, None)).mean())
         return probs.reshape(x.shape).astype(np.float32, copy=False)
 
     def backward(self, inputs, output, grad_out, ctx):
         n = output.shape[0]
         probs = output.reshape(n, -1)
-        labels = self._labels(n)
+        labels = self._labels(n, ctx)
         d = probs.copy()
         if labels is not None:
             d[np.arange(n), labels] -= 1.0

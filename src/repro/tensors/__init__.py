@@ -7,8 +7,11 @@ tensor placement, not on raw bytes.
 
 Two halves live here:
 
-* :class:`~repro.tensors.tensor.Tensor` — the *descriptor*: shape, dtype,
-  byte size, placement state machine, and lock used by the LRU cache.
+* :class:`~repro.tensors.tensor.Tensor` — the *descriptor*: immutable
+  identity (shape, dtype, byte size, kind, name).  The placement state
+  machine and the LRU-cache lock are *per-session* and live in
+  :class:`~repro.core.tensor_state.SessionTensorState`, so descriptors
+  can be shared read-only by concurrent sessions.
 * payload stores — where the actual numbers live.  ``ArrayStore`` holds
   real NumPy arrays (concrete mode, used to verify numerics);
   ``NullStore`` holds nothing (simulated mode, used for 12 GB-scale

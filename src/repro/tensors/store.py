@@ -68,8 +68,7 @@ class ArrayStore:
         arr = self._device.get(t.tensor_id)
         if arr is None:
             raise KeyError(
-                f"tensor {t.name!r} (id={t.tensor_id}) has no device payload; "
-                f"placement={t.placement.value}"
+                f"tensor {t.name!r} (id={t.tensor_id}) has no device payload"
             )
         return arr
 

@@ -1,9 +1,15 @@
-"""The tensor descriptor: shape, bytes, placement state, and cache lock.
+"""The tensor descriptor: immutable identity (shape, bytes, kind, name).
 
 The runtime schedules *descriptors*; payloads (if any) are kept in a
 separate :mod:`repro.tensors.store`.  This mirrors the paper's design
 where the C++ runtime moves ``tensor_t`` objects between GPU DRAM and
 pinned host RAM while cuDNN only ever sees device pointers.
+
+A descriptor carries **no mutable scheduling state**.  Placement, the
+LRU-cache lock, host residency, and prefetch arrivals live in the
+per-executor :class:`~repro.core.tensor_state.SessionTensorState`
+table, keyed by ``tensor_id`` — the net (and its descriptors) can be
+shared read-only by any number of concurrent sessions.
 """
 
 from __future__ import annotations
@@ -42,7 +48,9 @@ class TensorKind(enum.Enum):
 
 
 class Placement(enum.Enum):
-    """Where a tensor's bytes currently live.
+    """Where a tensor's bytes currently live (per session: the state is
+    kept in :class:`~repro.core.tensor_state.SessionTensorState`, not
+    on the descriptor).
 
     State machine::
 
@@ -84,12 +92,10 @@ class Tensor:
     producer: Optional[int] = None
     dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float32))
 
-    # -- scheduler state (mutated by the runtime) -----------------------
+    # -- identity (the only runtime-relevant field that is not shape) ----
+    # No scheduler state lives here: placement/locks/host-residency are
+    # per-session (see repro.core.tensor_state.SessionTensorState).
     tensor_id: int = field(default_factory=lambda: next(_tensor_ids))
-    placement: Placement = Placement.UNALLOCATED
-    gpu_addr: Optional[int] = None        # offset into the device pool
-    locked: bool = False                  # LRU cache lock (Alg. 2)
-    host_resident: bool = False           # a valid copy exists in host RAM
 
     def __post_init__(self) -> None:
         if not self.shape:
@@ -114,31 +120,6 @@ class Tensor:
     def nbytes(self) -> int:
         return self._nbytes
 
-    # -- placement helpers ------------------------------------------------
-    @property
-    def on_gpu(self) -> bool:
-        return self.placement is Placement.GPU
-
-    @property
-    def on_host(self) -> bool:
-        return self.placement is Placement.HOST
-
-    @property
-    def is_live(self) -> bool:
-        """True while the tensor holds meaningful data somewhere."""
-        return self.placement in (Placement.GPU, Placement.HOST)
-
-    def lock(self) -> None:
-        """Pin the tensor for the duration of a layer's computation.
-
-        A locked tensor must not be evicted by the LRU cache (paper
-        Alg. 2, ``T.Lock``).
-        """
-        self.locked = True
-
-    def unlock(self) -> None:
-        self.locked = False
-
     def __hash__(self) -> int:
         return self.tensor_id
 
@@ -149,5 +130,5 @@ class Tensor:
         return (
             f"Tensor(id={self.tensor_id}, name={self.name!r}, "
             f"shape={self.shape}, kind={self.kind.value}, "
-            f"placement={self.placement.value}, nbytes={self.nbytes})"
+            f"nbytes={self.nbytes})"
         )

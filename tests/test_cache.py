@@ -3,11 +3,18 @@
 import pytest
 
 from repro.core.cache import TensorCache
+from repro.core.tensor_state import SessionTensorState
 from repro.tensors.tensor import Tensor, TensorKind
 
 
 def _t(kb: int, name: str = "") -> Tensor:
     return Tensor((1, 1, 1, 256 * kb), name=name)  # kb KiB tensors
+
+
+def _locked_cache() -> "tuple[TensorCache, SessionTensorState]":
+    """A cache bound to a session state (the lock-bit source)."""
+    state = SessionTensorState()
+    return TensorCache(state=state), state
 
 
 class TestLRUOrder:
@@ -47,7 +54,7 @@ class TestLRUOrder:
 
 class TestEviction:
     def test_evicts_lru_first(self):
-        c = TensorCache()
+        c, _ = _locked_cache()
         a, b, d = _t(4, "a"), _t(4, "b"), _t(4, "d")
         for t in (a, b, d):
             c.insert(t)
@@ -62,7 +69,7 @@ class TestEviction:
         assert freed == a.nbytes
 
     def test_evicts_until_enough(self):
-        c = TensorCache()
+        c, _ = _locked_cache()
         ts = [_t(4, f"t{i}") for i in range(4)]
         for t in ts:
             c.insert(t)
@@ -71,27 +78,52 @@ class TestEviction:
         assert len(c) == 1  # three evicted (4K each)
 
     def test_locked_tensors_survive(self):
-        c = TensorCache()
+        c, state = _locked_cache()
         a, b = _t(4, "a"), _t(4, "b")
         c.insert(a)
         c.insert(b)
-        a.lock()
+        state.lock(a)
         evicted = []
         c.evict_for(4 * 1024, lambda t: evicted.append(t.name) or t.nbytes)
         assert evicted == ["b"]
         assert a in c
 
     def test_all_locked_frees_nothing(self):
-        c = TensorCache()
+        c, state = _locked_cache()
         ts = [_t(2, f"t{i}") for i in range(3)]
         for t in ts:
             c.insert(t)
-            t.lock()
+            state.lock(t)
         assert c.evict_for(1024, lambda t: t.nbytes) == 0
         assert len(c) == 3
 
-    def test_eviction_counter(self):
+    def test_lock_bits_are_per_session(self):
+        """Two sessions' caches over the SAME descriptors must not see
+        each other's locks — the pre-refactor shared ``t.locked`` bit
+        made this impossible."""
+        a, b = _t(4, "a"), _t(4, "b")
+        c1, s1 = _locked_cache()
+        c2, s2 = _locked_cache()
+        for c in (c1, c2):
+            c.insert(a)
+            c.insert(b)
+        s1.lock(a)  # session 1 pins a; session 2 did not
+        ev1, ev2 = [], []
+        c1.evict_for(8 * 1024, lambda t: ev1.append(t.name) or t.nbytes)
+        c2.evict_for(8 * 1024, lambda t: ev2.append(t.name) or t.nbytes)
+        assert ev1 == ["b"]          # a survives only where it is locked
+        assert ev2 == ["a", "b"]
+
+    def test_unbound_cache_refuses_to_evict(self):
+        """Without a SessionTensorState the lock check cannot run —
+        eviction must fail loud, never treat pinned tensors as free."""
         c = TensorCache()
+        c.insert(_t(4, "a"))
+        with pytest.raises(RuntimeError, match="SessionTensorState"):
+            c.evict_for(1, lambda t: t.nbytes)
+
+    def test_eviction_counter(self):
+        c, _ = _locked_cache()
         for i in range(3):
             c.insert(_t(2, f"t{i}"))
         c.evict_for(6 * 1024, lambda t: t.nbytes)

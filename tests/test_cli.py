@@ -91,8 +91,15 @@ class TestCLI:
                    "--sessions", "2", "--iters", "2"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "2 sharing one engine (plans compiled 1x" in out
+        assert "2 sharing one engine, round-robin (plans compiled 1x" in out
         assert "infer peak" in out and "train would need" in out
+
+    def test_infer_parallel_drive(self, capsys):
+        rc = main(["infer", "--net", "lenet", "--batch", "4",
+                   "--sessions", "2", "--iters", "2", "--parallel"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "thread-per-session (plans compiled 1x" in out
 
     def test_serve_alias(self, capsys):
         rc = main(["serve", "--net", "lenet", "--batch", "4",

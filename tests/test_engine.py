@@ -249,9 +249,24 @@ class TestConcurrentSessions:
                        RuntimeConfig.superneurons())
         engine = sess.compile("train", "infer")
         assert isinstance(engine, Engine)
-        assert engine.compile_count == 2
+        # one SHARED planning pass (route order + forward dependency
+        # scan) covers both modes; each mode adds only its own scout
+        assert engine.compile_count == 1
+        assert engine.mode_compile_count == 2
         assert engine.compiled_modes == ("infer", "train")
         sess.close()
+
+    def test_train_and_infer_compiles_share_planning_base(self):
+        """The batched-compile fix: compiling both modes runs the
+        Alg. 1 graph walk exactly once, and both routes reference the
+        very same forward order."""
+        engine = Engine(lenet(batch=2, image=12),
+                        RuntimeConfig.superneurons())
+        train = engine.compiled("train")
+        infer = engine.compiled("infer")
+        assert engine.compile_count == 1
+        assert engine.mode_compile_count == 2
+        assert train.route.forward_layers is infer.route.forward_layers
 
     def test_engine_bound_compile_warms_requested_modes(self):
         """compile() on a worker must honor its docstring: the named

@@ -118,7 +118,8 @@ class TestFabricInExecutor:
 
 class TestCachePolicies:
     def _fill(self, policy):
-        c = TensorCache(policy=policy)
+        from repro.core.tensor_state import SessionTensorState
+        c = TensorCache(policy=policy, state=SessionTensorState())
         ts = [Tensor((1, 1, 1, 256), name=f"t{i}") for i in range(4)]
         for t in ts:
             c.insert(t)

@@ -59,10 +59,20 @@ class TestNet:
         with pytest.raises(RuntimeError):
             net.add(ReLU("late"))
 
-    def test_loss_layer_gets_labels(self):
+    def test_loss_layer_gets_labels_through_context(self):
+        """Labels flow through the per-session LayerContext (the data
+        forward writes ctx.labels, the loss forward reads them) — no
+        shared label-source wiring exists on the built net."""
+        import numpy as np
+        from repro.layers.base import LayerContext
+
         net = lenet(batch=1, image=12)
         assert net.loss_layer is not None
-        assert net.loss_layer._label_source is net.data_layer
+        assert net.loss_layer._label_source is None  # nothing shared
+        ctx = LayerContext()
+        x = net.data_layer.forward([], ctx)
+        assert isinstance(ctx.labels, np.ndarray)  # labels on the ctx
+        assert x.shape == net.data_layer.shape
 
     def test_layer_by_name(self):
         net = lenet(batch=1, image=12)

@@ -204,8 +204,9 @@ class TestSoftmax:
         l.set_label_source(FakeData())
         logits = np.array([[5.0, 0, 0], [0, 5.0, 0]],
                           dtype=np.float32).reshape(2, 3, 1, 1)
-        l.forward([logits], LayerContext())
-        assert l.last_loss < 0.05  # nearly certain correct predictions
+        ctx = LayerContext()
+        l.forward([logits], ctx)
+        assert ctx.last_loss < 0.05  # nearly certain correct predictions
 
     def test_gradient_is_probs_minus_onehot(self):
         class FakeData:
@@ -230,11 +231,13 @@ class TestSoftmax:
         l = _build(SoftmaxLoss("s"), [(1, 4, 1, 1)])
         l.set_label_source(FakeData())
         x = _rand((1, 4, 1, 1))
-        out = l.forward([x], LayerContext())
-        loss0 = l.last_loss
+        ctx0 = LayerContext()
+        out = l.forward([x], ctx0)
+        loss0 = ctx0.last_loss
         (dx,), _ = l.backward([x], out, None, LayerContext())
-        l.forward([x - 5.0 * dx], LayerContext())
-        assert l.last_loss < loss0
+        ctx1 = LayerContext()
+        l.forward([x - 5.0 * dx], ctx1)
+        assert ctx1.last_loss < loss0
 
 
 class TestFlops:

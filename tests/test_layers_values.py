@@ -164,15 +164,19 @@ class TestSoftmaxValues:
         np.testing.assert_allclose(y1, y2, rtol=1e-5)
 
     def test_no_labels_no_loss(self):
+        from repro.layers.base import LayerContext
         l = _build(SoftmaxLoss("s"), [(1, 4, 1, 1)])
-        l.forward([np.zeros((1, 4, 1, 1), dtype=np.float32)], CTX)
-        assert l.last_loss is None
+        ctx = LayerContext()
+        l.forward([np.zeros((1, 4, 1, 1), dtype=np.float32)], ctx)
+        assert ctx.last_loss is None
 
     def test_uniform_logits_loss_is_log_n(self):
         class FakeData:
             current_labels = np.array([0])
 
+        from repro.layers.base import LayerContext
         l = _build(SoftmaxLoss("s"), [(1, 5, 1, 1)])
         l.set_label_source(FakeData())
-        l.forward([np.zeros((1, 5, 1, 1), dtype=np.float32)], CTX)
-        assert l.last_loss == pytest.approx(np.log(5), rel=1e-5)
+        ctx = LayerContext()
+        l.forward([np.zeros((1, 5, 1, 1), dtype=np.float32)], ctx)
+        assert ctx.last_loss == pytest.approx(np.log(5), rel=1e-5)

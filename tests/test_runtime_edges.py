@@ -66,7 +66,7 @@ class TestPressurePaths:
         ex._gpu_alloc_tensor(other)          # must not raise
         assert not ex._pending               # forced reap drained it
         assert ex._stall >= stall_before     # compute waited on the copy
-        assert big.on_host
+        assert ex.state.on_host(big)
         ex._discard(other)
         ex._discard(big)
         ex.close()

@@ -219,8 +219,8 @@ class TestAccumulatorHygiene:
             for i in range(3):
                 ex.run_iteration(i)
                 assert ex._pending == []
-                assert ex._arrivals == {}
-                assert ex._live == set()
+                assert not ex.state.any_arrivals
+                assert ex.state.live_count() == 0
 
     def test_eager_mode_cache_counters_stay_silent(self):
         """Eager offload has no cache; its counters must not tick (they

@@ -27,17 +27,56 @@ class TestTensor:
         assert a != b
         assert a == a
 
-    def test_initial_placement(self):
+    def test_descriptor_is_identity_only(self):
+        """Scheduling state lives in SessionTensorState, not here: a
+        descriptor shared by N sessions must be immutable identity."""
         t = Tensor((1, 2, 3, 4))
-        assert t.placement is Placement.UNALLOCATED
-        assert not t.on_gpu and not t.is_live
+        for attr in ("placement", "locked", "host_resident", "gpu_addr"):
+            assert not hasattr(t, attr)
 
-    def test_lock_unlock(self):
+    def test_session_state_defaults(self):
+        from repro.core.tensor_state import SessionTensorState
+
+        t = Tensor((1, 2, 3, 4))
+        st = SessionTensorState()
+        assert st.placement(t) is Placement.UNALLOCATED
+        assert not st.on_gpu(t) and not st.is_live(t)
+
+    def test_session_state_lock_unlock(self):
+        from repro.core.tensor_state import SessionTensorState
+
         t = Tensor((1, 1, 1, 1))
-        t.lock()
-        assert t.locked
-        t.unlock()
-        assert not t.locked
+        st = SessionTensorState()
+        st.lock(t)
+        assert st.locked(t)
+        st.unlock(t)
+        assert not st.locked(t)
+
+    def test_states_are_independent_per_session(self):
+        from repro.core.tensor_state import SessionTensorState
+
+        t = Tensor((1, 1, 1, 1))
+        a, b = SessionTensorState(), SessionTensorState()
+        a.set_placement(t, Placement.GPU)
+        a.lock(t)
+        assert b.placement(t) is Placement.UNALLOCATED
+        assert not b.locked(t)
+
+    def test_placement_state_machine_validation(self):
+        from repro.core.tensor_state import (
+            IllegalPlacementTransition,
+            SessionTensorState,
+        )
+
+        t = Tensor((1, 1, 1, 1))
+        st = SessionTensorState(validate=True)
+        st.set_placement(t, Placement.GPU)       # UNALLOCATED -> GPU
+        st.set_placement(t, Placement.GPU)       # same-state no-op ok
+        st.set_placement(t, Placement.HOST)      # offload
+        st.set_placement(t, Placement.FREED)     # discard
+        st.set_placement(t, Placement.GPU)       # recompute re-alloc
+        with pytest.raises(IllegalPlacementTransition):
+            st.set_placement(t, Placement.UNALLOCATED)
 
     def test_rejects_bad_shapes(self):
         with pytest.raises(ValueError):
