@@ -1,0 +1,185 @@
+"""Serving benchmark: dynamic batching vs one-request-at-a-time.
+
+The serving subsystem's value claim is twofold: coalescing variable
+request sizes into the compiled batch shape buys **throughput** (fewer,
+fuller engine steps for the same sample count), and it must not buy it
+with a **latency** collapse.  Both are measured as *within-run* ratios
+— batched and unbatched drain the identical burst trace in the same
+process — so the numbers are robust to runner speed, exactly like the
+steady-state and inference gates:
+
+* ``serving-throughput``: ``speedup`` = samples/s with the
+  :class:`~repro.serve.InferenceServer` (dynamic batching, N workers)
+  over samples/s of the unbatched reference (each request padded into
+  its own engine step, sequentially — what a server without a batcher
+  would do);
+* ``serving-latency``: ``speedup`` = unbatched p95 request latency over
+  the server's p95 (draining the same burst faster also completes
+  requests sooner; a scheduling regression shows up here even when
+  aggregate throughput survives).
+
+Run as a script (CI's serving-smoke job does)::
+
+    python benchmarks/bench_serving.py --output BENCH_serving.json
+
+Writes the trajectory JSON plus ``benchmarks/results/serving.txt``.
+Gate with ``check_regression.py`` against
+``benchmarks/baselines/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import RuntimeConfig
+from repro.core.engine import Engine
+from repro.serve import InferenceServer
+from repro.zoo import NETWORK_BUILDERS
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+NET = "lenet"
+BATCH = 8
+REQUESTS = 40
+MAX_REQUEST = 2 * BATCH     # sizes 1..16 exercise the split path
+WORKERS = 2
+
+
+def make_trace(engine: Engine, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    shape = engine.input_shape[1:]
+    sizes = rng.integers(1, MAX_REQUEST + 1, size=REQUESTS)
+    return [rng.standard_normal((int(n),) + shape).astype(np.float32)
+            for n in sizes]
+
+
+def run_unbatched(engine: Engine, trace):
+    """The no-batcher reference: one padded engine step per request
+    chunk, sequentially through a single session.  Returns (seconds,
+    per-request completion latencies)."""
+    latencies = []
+    t0 = time.perf_counter()
+    with engine.session(mode="infer") as sess:
+        it = 0
+        for data in trace:
+            for start in range(0, data.shape[0], engine.batch_size):
+                chunk = data[start:start + engine.batch_size]
+                feed = np.zeros(engine.input_shape, dtype=np.float32)
+                feed[:chunk.shape[0]] = chunk
+                sess.infer_batch(feed, iteration=it)
+                it += 1
+            latencies.append(time.perf_counter() - t0)
+    return time.perf_counter() - t0, latencies
+
+
+def run_served(engine: Engine, trace, policy: str):
+    """Drain the identical burst through the InferenceServer."""
+    with InferenceServer(engine, workers=WORKERS, policy=policy,
+                         max_wait=0.001) as server:
+        t0 = time.perf_counter()
+        futures = [server.submit(d) for d in trace]
+        for f in futures:
+            f.result(timeout=300.0)
+        elapsed = time.perf_counter() - t0
+    return elapsed, server.metrics.to_dict()
+
+
+def run(repeats: int, policy: str) -> list:
+    samples = solo_steps = None
+    rounds = []
+    for _ in range(repeats):
+        # fresh engines per repeat: compile cost excluded from both
+        # sides the same way (sessions link precompiled plans), and
+        # snapshot_params materializes every lazy initial value so the
+        # one-time RNG cost lands in NEITHER timed region (whichever
+        # side runs first would otherwise pay it alone)
+        engine = Engine(NETWORK_BUILDERS[NET](batch=BATCH),
+                        RuntimeConfig.superneurons(concrete=True))
+        engine.compiled("infer")
+        engine.snapshot_params()
+        trace = make_trace(engine)
+        samples = sum(d.shape[0] for d in trace)
+        solo_steps = sum(-(-d.shape[0] // BATCH) for d in trace)
+
+        solo_s, solo_lat = run_unbatched(engine, trace)
+        served_s, metrics = run_served(engine, trace, policy)
+        assert metrics["requests"]["failed"] == 0
+        # pair the ratios within one repeat — mixing the best solo of
+        # one round with the best served of another would break the
+        # within-run robustness the gate depends on
+        rounds.append({
+            "solo_s": solo_s,
+            "served_s": served_s,
+            "solo_p95": float(np.percentile(solo_lat, 95)),
+            "served_p95": metrics["requests"]["latency_ms"]["p95"] / 1e3,
+            "metrics": metrics,
+        })
+    rounds.sort(key=lambda r: r["solo_s"] / r["served_s"])
+    mid = rounds[len(rounds) // 2]        # median throughput round
+    best_solo, best_served = mid["solo_s"], mid["served_s"]
+    solo_p95, served_p95 = mid["solo_p95"], mid["served_p95"]
+    served_metrics = mid["metrics"]
+
+    shared = {
+        "bench": "serving",
+        "net": NET,
+        "batch": BATCH,
+        "iters": REQUESTS,     # the gate's workload-identity check
+        "policy": policy,
+        "workers": WORKERS,
+        "samples": samples,
+        "fill_ratio": round(served_metrics["batches"]["fill_ratio"], 4),
+        "padded_rows": served_metrics["batches"]["padded_rows"],
+        "engine_steps": served_metrics["batches"]["count"],
+        "solo_steps": solo_steps,
+    }
+    records = [
+        dict(shared,
+             config="serving-throughput",
+             solo_samples_per_sec=round(samples / best_solo, 2),
+             served_samples_per_sec=round(samples / best_served, 2),
+             speedup=round(best_solo / best_served, 3)),
+        dict(shared,
+             config="serving-latency",
+             solo_p95_ms=round(solo_p95 * 1e3, 3),
+             served_p95_ms=round(served_p95 * 1e3, 3),
+             speedup=round(solo_p95 / served_p95, 3)),
+    ]
+    return records
+
+
+def render(records: list) -> str:
+    lines = ["serving: dynamic batching vs unbatched "
+             f"({NET} b={BATCH}, {REQUESTS} requests, "
+             f"{WORKERS} workers)", ""]
+    for r in records:
+        lines.append(f"{r['config']:22s} speedup {r['speedup']:.2f}x  "
+                     f"(fill {r['fill_ratio']:.1%}, "
+                     f"{r['engine_steps']} steps vs "
+                     f"{r['solo_steps']} unbatched)")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output", default="BENCH_serving.json")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--policy", default="greedy-fill")
+    args = ap.parse_args()
+
+    records = run(args.repeats, args.policy)
+    Path(args.output).write_text(json.dumps(records, indent=2) + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serving.txt").write_text(render(records) + "\n")
+    print(render(records))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

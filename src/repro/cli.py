@@ -8,9 +8,11 @@ Commands
 ``probe``   — largest batch (or deepest ResNet) before OOM.
 ``breakdown`` — Fig. 8-style time/memory percentages by layer type.
 ``policies`` — the registered memory-policy stack per framework.
-``infer``   — (alias ``serve``) compile once, run N forward-only
-              sessions concurrently; report throughput and the
-              train-vs-infer peak-memory gap.
+``infer``   — compile once, run N forward-only sessions concurrently;
+              report throughput and the train-vs-infer peak-memory gap.
+``serve``   — the real serving loop: an InferenceServer coalescing a
+              synthetic arrival trace (``--rate``, ``--duration``)
+              into dynamic batches over ``--workers`` sessions.
 """
 
 from __future__ import annotations
@@ -154,10 +156,10 @@ def cmd_infer(args) -> int:
             from concurrent.futures import TimeoutError as _FutTimeout
             try:
                 per_session = engine.parallel_run(sessions, args.iters,
-                                                  timeout=600.0)
+                                                  timeout=args.timeout)
             except (_FutTimeout, TimeoutError):
-                print("parallel sessions hung past 600s; aborting",
-                      file=sys.stderr)
+                print(f"parallel sessions hung past {args.timeout:g}s; "
+                      "aborting", file=sys.stderr)
                 os._exit(1)
             results = [r for rs in per_session for r in rs]
         else:
@@ -190,6 +192,90 @@ def cmd_infer(args) -> int:
           f"{n_iter} iterations ({args.batch * n_iter / wall:.0f} img/s "
           f"aggregate)")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Dynamic-batching serving from a synthetic arrival trace."""
+    import numpy as np
+
+    from repro.serve import InferenceServer
+
+    if args.rate <= 0 or args.duration <= 0 or args.workers < 1 \
+            or args.swaps < 0 \
+            or (args.max_request is not None and args.max_request < 1):
+        print("serve needs --rate > 0, --duration > 0, --workers >= 1, "
+              "--swaps >= 0, --max-request >= 1", file=sys.stderr)
+        return 2
+    name = _net_name(args)
+    net = NETWORK_BUILDERS[name](batch=args.batch)
+    cfg = framework_config(args.framework, concrete=args.concrete,
+                           gpu_capacity=int(args.gpu_gb * GiB))
+    engine = Engine(net, cfg)
+    max_request = args.max_request or 2 * args.batch
+    sample_shape = engine.input_shape[1:]
+
+    # deterministic Poisson-ish trace: exponential inter-arrivals,
+    # uniform request sizes in [1, max_request] (sizes > batch exercise
+    # the multi-step split path)
+    rng = np.random.default_rng(args.seed)
+    arrivals = []
+    t = 0.0
+    while t < args.duration:
+        arrivals.append((t, int(rng.integers(1, max_request + 1))))
+        t += rng.exponential(1.0 / args.rate)
+
+    server = InferenceServer(engine, workers=args.workers,
+                             policy=args.policy,
+                             max_wait=args.max_wait)
+    # max(1, ...): a trace shorter than swaps+1 still swaps on every
+    # arrival instead of silently skipping the requested hot swaps
+    swap_every = max(1, len(arrivals) // (args.swaps + 1)) \
+        if args.swaps else 0
+    snapshot = engine.snapshot_params() if args.swaps else None
+    with server:
+        t0 = time.perf_counter()
+        for i, (at, size) in enumerate(arrivals):
+            delay = at - (time.perf_counter() - t0)
+            if delay > 0:
+                time.sleep(delay)
+            if args.concrete:
+                data = rng.standard_normal(
+                    (size,) + sample_shape).astype(np.float32)
+                server.submit(data=data)
+            else:
+                server.submit(size=size)
+            if swap_every and (i + 1) % swap_every == 0 \
+                    and engine.weights_version < args.swaps:
+                server.swap_weights(snapshot, timeout=args.timeout)
+        if not server.drain(timeout=args.timeout):
+            print(f"backlog not drained after {args.timeout:g}s; "
+                  "aborting", file=sys.stderr)
+            os._exit(1)
+    m = server.metrics.to_dict()
+    req, bat, thr = m["requests"], m["batches"], m["throughput"]
+    failed = req["failed"]
+    print(f"network      : {name} (batch {args.batch}, {len(net)} layers, "
+          f"{'concrete' if args.concrete else 'simulated'})")
+    print(f"server       : {server.describe()}")
+    print(f"trace        : {len(arrivals)} requests over "
+          f"{args.duration:g}s at ~{args.rate:g} req/s "
+          f"(sizes 1..{max_request}, seed {args.seed})")
+    print(f"requests     : {req['completed']} completed, {failed} failed, "
+          f"{req['samples']} samples")
+    print(f"latency      : p50 {req['latency_ms']['p50']:.2f} ms, "
+          f"p95 {req['latency_ms']['p95']:.2f} ms, "
+          f"max {req['latency_ms']['max']:.2f} ms "
+          f"(queue p95 {req['queue_ms']['p95']:.2f} ms)")
+    print(f"batches      : {bat['count']} steps, fill "
+          f"{bat['fill_ratio']:.1%}, {bat['padded_rows']} padded rows, "
+          f"{bat['split_slices']} split slices")
+    print(f"throughput   : {thr['requests_per_second']:.1f} req/s, "
+          f"{thr['samples_per_second']:.1f} samples/s over "
+          f"{thr['elapsed_seconds']:.2f}s")
+    if args.swaps:
+        print(f"weight swaps : {m['swaps']['count']} "
+              f"(now v{m['swaps']['weights_version']})")
+    return 1 if failed else 0
 
 
 def cmd_policies(args) -> int:
@@ -229,7 +315,7 @@ def main(argv=None) -> int:
     _add_common(p)
     p.set_defaults(fn=cmd_breakdown)
 
-    p = sub.add_parser("infer", aliases=["serve"],
+    p = sub.add_parser("infer",
                        help="forward-only serving throughput/memory")
     _add_common(p)
     p.add_argument("--sessions", type=int, default=2,
@@ -239,7 +325,41 @@ def main(argv=None) -> int:
     p.add_argument("--parallel", action="store_true",
                    help="drive the sessions thread-per-session "
                         "(engine.parallel_run) instead of round-robin")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds before a hung --parallel run aborts "
+                        "(the parallel_run shared deadline)")
     p.set_defaults(fn=cmd_infer)
+
+    p = sub.add_parser("serve",
+                       help="dynamic-batching serving loop "
+                            "(synthetic arrival trace)")
+    _add_common(p)
+    from repro.serve import COALESCER_REGISTRY
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="mean request arrival rate (requests/second)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="trace length in seconds")
+    p.add_argument("--workers", type=int, default=2,
+                   help="infer sessions pulling batches concurrently")
+    p.add_argument("--policy", choices=sorted(COALESCER_REGISTRY),
+                   default="greedy-fill",
+                   help="coalescing policy for the dynamic batcher")
+    p.add_argument("--max-wait", type=float, default=0.005,
+                   help="seconds a lone request waits for batch-mates")
+    p.add_argument("--max-request", type=int, default=None,
+                   help="largest request size in samples "
+                        "(default 2x batch, exercising splits)")
+    p.add_argument("--swaps", type=int, default=0,
+                   help="hot-swap the weights this many times mid-trace")
+    p.add_argument("--seed", type=int, default=0,
+                   help="trace rng seed")
+    p.add_argument("--concrete", action="store_true",
+                   help="real payloads (outputs computed); default is "
+                        "descriptor-only simulated traffic")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for the backlog to drain "
+                        "before aborting")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("policies", help="memory-policy stack per framework")
     p.add_argument("framework_name", nargs="?", default=None,

@@ -69,6 +69,8 @@ from dataclasses import dataclass, replace
 from time import monotonic
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.config import RuntimeConfig
 from repro.core.liveness import LivenessAnalysis, LivenessPlan
 from repro.core.plan import GatheredPolicy, gather_policy_plans
@@ -172,6 +174,8 @@ class Engine:
         # lazy compile concurrently; the lock keeps "one planning pass"
         # true under races instead of letting two threads plan twice
         self._compile_lock = threading.Lock()
+        #: bumped by :meth:`install_params`; serving metrics report it
+        self.weights_version = 0
 
     # ------------------------------------------------------------- compiling
     def compiled(self, mode: str = "train") -> CompiledMode:
@@ -349,15 +353,110 @@ class Engine:
             hung = any(not f.done() for f in futures)
             pool.shutdown(wait=not hung, cancel_futures=True)
 
+    # --------------------------------------------------------------- weights
+    def snapshot_params(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter value, keyed by tensor name.
+
+        Materializes lazy initial values (a descriptor-only engine that
+        never ran concrete has not paid the RNG cost yet).  The
+        returned arrays are copies — mutating them cannot reach the
+        live weights, so a snapshot is a safe swap payload.
+        """
+        out: Dict[str, np.ndarray] = {}
+        for layer, p in self._params_by_name().values():
+            out[p.name] = np.copy(layer.param_values[p.tensor_id])
+        return out
+
+    def _params_by_name(self) -> Dict[str, tuple]:
+        """name -> (layer, param tensor), refusing ambiguous names.
+
+        Nothing enforces unique layer names at build time, and a
+        colliding name would make a full-snapshot swap silently skip
+        one layer's weights — fail loudly instead.
+        """
+        by_name: Dict[str, tuple] = {}
+        for layer in self.net.layers:
+            for p in layer.params:
+                if p.name in by_name:
+                    raise ValueError(
+                        f"parameter tensor name {p.name!r} is ambiguous "
+                        "(two layers share a name); weight swap needs "
+                        "unique layer names")
+                by_name[p.name] = (layer, p)
+        return by_name
+
+    def install_params(self, params: Dict[str, np.ndarray]) -> int:
+        """Install updated weight values into the shared parameter store.
+
+        ``params`` maps tensor names (as :meth:`snapshot_params`
+        returns them) to arrays; a partial mapping updates only the
+        named tensors.  Shapes are validated against the descriptors
+        before anything is written, so a bad payload cannot leave the
+        net half-swapped.  Returns the number of tensors installed and
+        bumps :attr:`weights_version`.
+
+        This is the ROADMAP's hot-swap *hook*: the parameter values are
+        the one store every session of this engine shares, so the
+        caller must quiesce concurrent sessions first —
+        :meth:`repro.serve.InferenceServer.swap_weights` wraps this in
+        a step barrier so in-flight batches finish on the old weights.
+        """
+        by_name = self._params_by_name()
+        unknown = sorted(set(params) - set(by_name))
+        if unknown:
+            raise KeyError(
+                f"unknown parameter tensors {unknown}; known names come "
+                "from engine.snapshot_params()")
+        staged = []
+        for name, value in params.items():
+            layer, p = by_name[name]
+            arr = np.ascontiguousarray(value, dtype=np.float32)
+            if arr.shape != p.shape:
+                raise ValueError(
+                    f"parameter {name!r} expects shape {p.shape}, "
+                    f"got {arr.shape}")
+            staged.append((layer, p, arr))
+        for layer, p, arr in staged:
+            layer.param_values[p.tensor_id] = arr
+        self.weights_version += 1
+        return len(staged)
+
     # ------------------------------------------------------------ inspection
     @property
     def compiled_modes(self) -> Tuple[str, ...]:
         return tuple(sorted(self._compiled))
 
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """The compiled input shape (every mode shares the net's data
+        layer, so the frozen batch shape is mode-independent)."""
+        return self.net.data_layer.shape
+
+    @property
+    def batch_size(self) -> int:
+        """Rows per compiled batch — the shape serving must pad/split
+        variable-sized requests into."""
+        return self.input_shape[0]
+
+    def supports_parallel(self, mode: str = "infer") -> bool:
+        """Whether :meth:`parallel_run` accepts sessions of ``mode``:
+        infer sessions always (they never write shared state); train
+        sessions only in simulated mode (concrete train would race on
+        the shared weights and BN running statistics)."""
+        if mode not in MODES:
+            raise ValueError(f"unknown execution mode {mode!r}; "
+                             f"expected one of {MODES}")
+        return mode == "infer" or not self.config.concrete
+
     def describe(self) -> str:
-        modes = ", ".join(self.compiled_modes) or "none yet"
+        modes = ", ".join(
+            f"{m} [{'x'.join(str(d) for d in self.input_shape)}]"
+            for m in self.compiled_modes) or "none yet"
+        parallel = ", ".join(m for m in MODES if self.supports_parallel(m))
         return (f"Engine({self.net.name}, {len(self.net)} layers, "
-                f"compiled modes: {modes})")
+                f"batch {self.batch_size}, compiled modes: {modes}; "
+                f"parallel drive: {parallel or 'none'}; "
+                f"weights v{self.weights_version})")
 
 
 def compile(net: Net, config: Optional[RuntimeConfig] = None,

@@ -100,6 +100,10 @@ class IterationResult:
     cache_misses: int = 0
     cache_evictions: int = 0
     workspace_choices: List[WorkspaceChoice] = field(default_factory=list)
+    # terminal layer's concrete output, kept only when the iteration ran
+    # with capture_output (the serving path); excluded from to_dict —
+    # payloads are not JSON and the dict contract predates serving
+    output: Optional[np.ndarray] = None
 
     @property
     def offload_traffic_bytes(self) -> int:
@@ -633,7 +637,19 @@ class Executor:
         self,
         iteration: int = 0,
         optimizer=None,
+        feed: Optional[np.ndarray] = None,
+        capture_output: bool = False,
     ) -> IterationResult:
+        """Run one iteration.
+
+        ``feed`` replaces the data layer's provider batch with a
+        caller-supplied one (must match the compiled input shape);
+        ``capture_output`` keeps the terminal layer's concrete output on
+        the returned :attr:`IterationResult.output`.  Both serve the
+        :mod:`repro.serve` request path and ride the per-session
+        :class:`~repro.layers.base.LayerContext`, so concurrent
+        sessions feed independently.
+        """
         if optimizer is not None and not self.training:
             raise TypeError(
                 "infer mode runs no backward pass, so the optimizer "
@@ -652,8 +668,9 @@ class Executor:
         self._active_listeners = (
             self._replay_listeners if replaying else self._listeners
         )
-        ctx._begin_iteration(iteration, LayerContext(iteration=iteration,
-                                                     training=self.training))
+        ctx._begin_iteration(iteration, LayerContext(
+            iteration=iteration, training=self.training,
+            feed=feed, capture_final=capture_output))
         self._dispatch("on_iteration_start")
         self.allocator.reset_peak()
         t0 = self.timeline.elapsed
@@ -701,6 +718,7 @@ class Executor:
             cache_misses=miss1 - miss0,
             cache_evictions=ev1 - ev0,
             workspace_choices=self._workspace_choices()[ws_start:],
+            output=ctx.layer_ctx.final_output,
         )
 
     def _fresh_steps(self, ctx: StepContext, optimizer) -> List[StepTrace]:
@@ -795,6 +813,8 @@ class Executor:
             self.store.put(out, val)
             if cs.has_running_stats and ctx.layer_ctx.training:
                 layer.update_running_stats(ins[0])
+            if ctx.layer_ctx.capture_final and not layer.next:
+                ctx.layer_ctx.final_output = self.store.get_required(out)
 
         self._free_step_scratch(ctx)
         for t in cs.reads:
@@ -896,6 +916,9 @@ class Executor:
             self.store.put(layer.output, out)
             if hasattr(layer, "update_running_stats") and ctx.layer_ctx.training:
                 layer.update_running_stats(ins[0])
+            if ctx.layer_ctx.capture_final and not layer.next:
+                ctx.layer_ctx.final_output = \
+                    self.store.get_required(layer.output)
 
         self._free_step_scratch(ctx)
         for t in reads:

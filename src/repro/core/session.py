@@ -274,14 +274,26 @@ class Session:
         return " -> ".join(p.describe() for p in self._resolved_stack())
 
     # -------------------------------------------------------------- running
-    def run_iteration(self, iteration: int = 0,
-                      optimizer=None) -> IterationResult:
-        res = self.executor.run_iteration(iteration, optimizer=optimizer)
+    def run_iteration(self, iteration: int = 0, optimizer=None,
+                      feed=None, capture_output: bool = False
+                      ) -> IterationResult:
+        res = self.executor.run_iteration(iteration, optimizer=optimizer,
+                                          feed=feed,
+                                          capture_output=capture_output)
         self.results.append(res)
         if self._max_history is not None \
                 and len(self.results) > self._max_history:
             del self.results[:len(self.results) - self._max_history]
         return res
+
+    def infer_batch(self, data, iteration: int = 0):
+        """Run one iteration over a caller-assembled input batch and
+        return the terminal layer's output (None in simulated mode —
+        descriptor-only runs hold no payloads).  ``data`` must match
+        the compiled input shape; :mod:`repro.serve` pads/coalesces
+        variable-sized requests into exactly this shape."""
+        return self.run_iteration(iteration, feed=data,
+                                  capture_output=True).output
 
     def run(self, iters: int = 1, optimizer=None,
             start_iteration: int = 0) -> List[IterationResult]:

@@ -65,6 +65,14 @@ class LayerContext:
     the iteration.  They used to live on the shared layer objects,
     which concurrent sessions of one engine would race on; a
     ``LayerContext`` belongs to exactly one session's iteration.
+
+    ``feed`` carries a caller-supplied input batch: when set, the data
+    layer returns it instead of calling its provider (the serving path
+    — :mod:`repro.serve` assembles request batches and feeds them in).
+    ``capture_final`` asks the executor to keep the terminal layer's
+    concrete output on ``final_output`` so serving can hand per-request
+    rows back; both ride the per-session context, so concurrent
+    sessions of one engine feed and capture independently.
     """
 
     iteration: int = 0
@@ -72,6 +80,9 @@ class LayerContext:
     rng_salt: int = 0
     labels: Optional["np.ndarray"] = None
     last_loss: Optional[float] = None
+    feed: Optional["np.ndarray"] = None
+    capture_final: bool = False
+    final_output: Optional["np.ndarray"] = None
 
     def layer_rng(self, layer_id: int) -> np.random.Generator:
         seed = (self.rng_salt * 1_000_003 + self.iteration) * 131_071 + layer_id

@@ -44,15 +44,26 @@ class DataLayer(Layer):
         return self.shape
 
     def forward(self, inputs, ctx: LayerContext):
-        data, labels = self.provider(ctx.iteration)
-        if data.shape != self.shape:
-            raise ValueError(
-                f"provider returned {data.shape}, expected {self.shape}"
-            )
-        # Labels travel only through the per-session LayerContext — any
-        # attribute write here would be shared mutable state racing
-        # across concurrent sessions of one engine.
-        ctx.labels = labels
+        if ctx.feed is not None:
+            # serving path: the batch was assembled by the caller
+            # (repro.serve pads/coalesces requests to the compiled
+            # shape).  No labels — the loss layer skips the loss.
+            data = ctx.feed
+            if data.shape != self.shape:
+                raise ValueError(
+                    f"feed batch is {data.shape}, the compiled shape "
+                    f"is {self.shape}"
+                )
+        else:
+            data, labels = self.provider(ctx.iteration)
+            if data.shape != self.shape:
+                raise ValueError(
+                    f"provider returned {data.shape}, expected {self.shape}"
+                )
+            # Labels travel only through the per-session LayerContext —
+            # any attribute write here would be shared mutable state
+            # racing across concurrent sessions of one engine.
+            ctx.labels = labels
         return data.astype(np.float32, copy=False)
 
     def backward(self, inputs, output, grad_out, ctx):

@@ -1,0 +1,50 @@
+"""repro.serve — dynamic-batching serving over parallel infer sessions.
+
+The first subsystem *above* the engine layer: the compile-once
+:class:`~repro.core.engine.Engine` freezes one batch shape and spawns
+cheap infer sessions; this package turns that into a server for
+variable-sized request traffic:
+
+* :mod:`repro.serve.queue` — a thread-safe :class:`RequestQueue` of
+  inference requests (1..K samples each, with id, enqueue timestamp and
+  a :class:`RequestFuture` handle);
+* :mod:`repro.serve.batcher` — a :class:`DynamicBatcher` that coalesces
+  queued requests into the engine's *compiled* batch shape, padding
+  short batches and splitting oversized requests across steps, under a
+  pluggable coalescing policy (``fifo``, ``greedy-fill``) mirroring the
+  registry pattern of :mod:`repro.core.policy`;
+* :mod:`repro.serve.server` — an :class:`InferenceServer` owning one
+  engine and N worker sessions (thread-per-session, the
+  ``engine.parallel_run`` drive), returning per-request futures, with
+  :meth:`InferenceServer.swap_weights` installing updated weights at a
+  step barrier (in-flight requests finish on the old weights);
+* :mod:`repro.serve.metrics` — per-request latency, batch fill ratio,
+  padding waste and throughput, exported via ``to_dict`` like
+  :class:`~repro.core.runtime.IterationResult`.
+"""
+
+from repro.serve.batcher import (
+    COALESCER_REGISTRY,
+    AssembledBatch,
+    BatchSlice,
+    CoalescePolicy,
+    DynamicBatcher,
+    register_coalescer,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.queue import InferenceRequest, RequestFuture, RequestQueue
+from repro.serve.server import InferenceServer
+
+__all__ = [
+    "AssembledBatch",
+    "BatchSlice",
+    "CoalescePolicy",
+    "COALESCER_REGISTRY",
+    "DynamicBatcher",
+    "InferenceRequest",
+    "InferenceServer",
+    "RequestFuture",
+    "RequestQueue",
+    "ServerMetrics",
+    "register_coalescer",
+]

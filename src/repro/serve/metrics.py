@@ -1,0 +1,166 @@
+"""Serving metrics: latency, fill, padding waste, throughput.
+
+Collected under one lock from every worker thread and exported via
+``to_dict`` exactly like :class:`~repro.core.runtime.IterationResult`
+— the CLI, the benchmark gate and the tests all read the same dict.
+
+Latency decomposes the way the request actually spends it:
+
+* **queue** — enqueue until the request's first slice starts computing
+  (what the batcher's ``max_wait`` bounds for a lone request);
+* **compute** — first slice start until the last slice's outputs are
+  delivered (for a split request this spans several engine steps).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import monotonic
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.serve.batcher import AssembledBatch
+from repro.serve.queue import InferenceRequest
+
+#: latency samples kept per distribution — a rolling window, so a
+#: server left up for days holds O(1) memory and the percentiles
+#: describe *recent* traffic (the counters stay lifetime-exact)
+LATENCY_WINDOW = 65536
+
+
+def _stats_ms(samples) -> Dict[str, float]:
+    if not samples:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    arr = np.asarray(samples) * 1e3
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }
+
+
+class ServerMetrics:
+    """Thread-safe serving counters + distributions."""
+
+    def __init__(self, clock: Callable[[], float] = monotonic):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+        # requests
+        self.completed = 0
+        self.failed = 0
+        self.samples = 0
+        self._queue_lat: deque = deque(maxlen=LATENCY_WINDOW)
+        self._compute_lat: deque = deque(maxlen=LATENCY_WINDOW)
+        self._total_lat: deque = deque(maxlen=LATENCY_WINDOW)
+        # batches
+        self.batches = 0
+        self.rows = 0
+        self.padded_rows = 0
+        self.split_slices = 0
+        self._compute_seconds = 0.0
+        # weight swaps
+        self.swaps = 0
+        self.weights_version = 0
+
+    # -- recording --------------------------------------------------------
+    def note_start(self) -> None:
+        with self._lock:
+            self._started_at = self.clock()
+
+    def note_stop(self) -> None:
+        with self._lock:
+            self._stopped_at = self.clock()
+
+    def record_batch(self, batch: AssembledBatch,
+                     compute_seconds: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.rows += batch.fill
+            self.padded_rows += batch.padding
+            self.split_slices += sum(
+                1 for s in batch.slices if s.rows != s.request.size)
+            self._compute_seconds += compute_seconds
+
+    def record_request(self, req: InferenceRequest) -> None:
+        with self._lock:
+            self.completed += 1
+            self.samples += req.size
+            if req.dispatch_time is not None:
+                self._queue_lat.append(
+                    req.dispatch_time - req.enqueue_time)
+                if req.complete_time is not None:
+                    self._compute_lat.append(
+                        req.complete_time - req.dispatch_time)
+            if req.complete_time is not None:
+                self._total_lat.append(
+                    req.complete_time - req.enqueue_time)
+
+    def record_failure(self, req: InferenceRequest) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def note_swap(self, version: int) -> None:
+        with self._lock:
+            self.swaps += 1
+            self.weights_version = version
+
+    # -- export -----------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at if self._stopped_at is not None \
+            else self.clock()
+        return max(end - self._started_at, 0.0)
+
+    @property
+    def fill_ratio(self) -> float:
+        total = self.rows + self.padded_rows
+        return self.rows / total if total else 0.0
+
+    def p95_latency(self) -> float:
+        """Seconds; 0 when nothing completed yet."""
+        with self._lock:
+            if not self._total_lat:
+                return 0.0
+            return float(np.percentile(np.asarray(self._total_lat), 95))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (the ``IterationResult.to_dict``
+        contract: one flat dict the CLI/benchmarks print or gate on)."""
+        with self._lock:
+            elapsed = self.elapsed
+            return {
+                "requests": {
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "samples": self.samples,
+                    "latency_ms": _stats_ms(self._total_lat),
+                    "queue_ms": _stats_ms(self._queue_lat),
+                    "compute_ms": _stats_ms(self._compute_lat),
+                },
+                "batches": {
+                    "count": self.batches,
+                    "rows": self.rows,
+                    "padded_rows": self.padded_rows,
+                    "fill_ratio": self.fill_ratio,
+                    "split_slices": self.split_slices,
+                    "compute_seconds": self._compute_seconds,
+                },
+                "throughput": {
+                    "elapsed_seconds": elapsed,
+                    "requests_per_second":
+                        self.completed / elapsed if elapsed else 0.0,
+                    "samples_per_second":
+                        self.samples / elapsed if elapsed else 0.0,
+                },
+                "swaps": {
+                    "count": self.swaps,
+                    "weights_version": self.weights_version,
+                },
+            }

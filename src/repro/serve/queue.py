@@ -1,0 +1,208 @@
+"""Thread-safe request queue for the serving subsystem.
+
+A request is a batch of 1..K samples with an id, an enqueue timestamp
+and a :class:`RequestFuture` the caller blocks on.  The queue itself is
+deliberately dumb — FIFO arrival order, one condition variable — so
+every coalescing decision (which requests ride one engine step, where
+an oversized request splits) lives in the
+:class:`~repro.serve.batcher.DynamicBatcher`'s pluggable policy, not
+here.  The batcher synchronizes on :attr:`RequestQueue.cond`, the one
+monitor both sides share: a ``submit`` wakes waiting workers without a
+second lock or a polling loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import monotonic
+from typing import Callable, List, Optional
+
+import numpy as np
+
+
+class RequestFuture:
+    """Minimal future: the caller's handle to one in-flight request."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._exception: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, value: Optional[np.ndarray]) -> None:
+        self._result = value
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None
+               ) -> Optional[np.ndarray]:
+        """Block until the request completes; the per-sample output rows
+        (``None`` in simulated mode — no payloads exist to return)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request not completed after {timeout}s")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+class InferenceRequest:
+    """One enqueued request: ``size`` samples plus delivery state.
+
+    ``data`` holds the concrete payload rows ``(size, *sample_shape)``
+    (``None`` for simulated-mode traffic, which exercises the full
+    scheduling path without payloads).  A request split across several
+    engine steps collects its output parts here — ``deliver`` is called
+    once per slice, possibly from different worker threads, and the
+    future resolves when the last part lands.  ``versions`` records the
+    engine weights version each slice computed under; the no-tearing
+    guarantee of ``swap_weights`` is exactly ``len(versions) == 1``.
+    """
+
+    def __init__(self, request_id: int, size: int,
+                 data: Optional[np.ndarray], enqueue_time: float):
+        if size < 1:
+            raise ValueError(f"request needs >= 1 samples, got {size}")
+        self.request_id = request_id
+        self.size = size
+        self.data = data
+        self.enqueue_time = enqueue_time
+        self.future = RequestFuture()
+        self.dispatch_time: Optional[float] = None   # first slice started
+        self.complete_time: Optional[float] = None
+        self.versions: set = set()
+        self._lock = threading.Lock()
+        self._parts: List[Optional[np.ndarray]] = []
+        self._remaining = 0
+
+    # -- delivery (called by the batcher/workers) -------------------------
+    def begin_dispatch(self, n_slices: int) -> None:
+        """Arm delivery for ``n_slices`` output parts (batcher, at plan
+        time, under the queue monitor)."""
+        self._parts = [None] * n_slices
+        self._remaining = n_slices
+
+    def mark_dispatched(self, now: float) -> None:
+        with self._lock:
+            if self.dispatch_time is None:
+                self.dispatch_time = now
+
+    def deliver(self, part_index: int, rows: Optional[np.ndarray],
+                version: int, now: float) -> bool:
+        """Hand one slice's output rows over; resolves the future when
+        every part has arrived.  True exactly once, on the delivery
+        that completed the request (the caller records metrics then)."""
+        with self._lock:
+            self._parts[part_index] = rows
+            self.versions.add(version)
+            self._remaining -= 1
+            finished = self._remaining == 0
+        if finished:
+            self.complete_time = now
+            if any(p is None for p in self._parts):
+                self.future.set_result(None)     # simulated mode
+            else:
+                out = self._parts[0] if len(self._parts) == 1 \
+                    else np.concatenate(self._parts, axis=0)
+                self.future.set_result(out)
+        return finished
+
+    def fail(self, exc: BaseException, now: float) -> bool:
+        """Resolve the future with ``exc``; True only on the first
+        failure (a split request can fail once per slice batch)."""
+        with self._lock:
+            if self.future.done():
+                return False
+            self.complete_time = now
+            self.future.set_exception(exc)
+            return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"InferenceRequest(id={self.request_id}, size={self.size}, "
+                f"done={self.future.done()})")
+
+
+class RequestQueue:
+    """FIFO of pending requests, one condition variable, a monotonic id.
+
+    ``submit`` validates the payload against the sample shape (when
+    given one) and stamps the enqueue time from the injected ``clock``
+    (tests drive a fake clock; production uses ``time.monotonic``).
+    ``take_pending`` atomically hands the whole backlog to the batcher
+    — one assembly round owns a consistent snapshot, so every slice of
+    a split request is planned together (the property the weight-swap
+    barrier builds on).
+    """
+
+    def __init__(self, sample_shape: Optional[tuple] = None,
+                 clock: Callable[[], float] = monotonic):
+        self.sample_shape = None if sample_shape is None \
+            else tuple(int(d) for d in sample_shape)
+        self.clock = clock
+        self.cond = threading.Condition()
+        self._items: deque = deque()
+        self._next_id = 0
+        self._closed = False
+        self.submitted = 0
+
+    # -- producer side ----------------------------------------------------
+    def submit(self, data: Optional[np.ndarray] = None,
+               size: Optional[int] = None) -> InferenceRequest:
+        """Enqueue a request of ``data`` rows (concrete) or a bare
+        ``size`` (simulated traffic); returns the request, whose
+        ``.future`` the caller blocks on."""
+        if data is not None:
+            data = np.asarray(data, dtype=np.float32)
+            if data.ndim < 1 or data.shape[0] < 1:
+                raise ValueError("request data needs a leading sample axis")
+            if size is not None and size != data.shape[0]:
+                raise ValueError(
+                    f"size={size} disagrees with data rows {data.shape[0]}")
+            if self.sample_shape is not None \
+                    and data.shape[1:] != self.sample_shape:
+                raise ValueError(
+                    f"sample shape {data.shape[1:]} != compiled "
+                    f"{self.sample_shape}")
+            size = data.shape[0]
+        elif size is None:
+            raise ValueError("submit needs data rows or an explicit size")
+        with self.cond:
+            if self._closed:
+                raise RuntimeError("queue is closed; no new requests")
+            req = InferenceRequest(self._next_id, size, data, self.clock())
+            self._next_id += 1
+            self._items.append(req)
+            self.submitted += 1
+            self.cond.notify_all()
+        return req
+
+    def close(self) -> None:
+        """Reject further submits; pending requests still drain."""
+        with self.cond:
+            self._closed = True
+            self.cond.notify_all()
+
+    # -- consumer side (batcher; caller holds ``cond``) -------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending_count(self) -> int:
+        return len(self._items)
+
+    def pending_rows(self) -> int:
+        return sum(r.size for r in self._items)
+
+    def oldest_enqueue_time(self) -> Optional[float]:
+        return self._items[0].enqueue_time if self._items else None
+
+    def take_pending(self) -> List[InferenceRequest]:
+        """Remove and return the whole backlog (an assembly round)."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,237 @@
+"""The inference server: one engine, N worker sessions, dynamic batches.
+
+The :class:`InferenceServer` owns a compiled
+:class:`~repro.core.engine.Engine` and drives N ``mode="infer"``
+sessions the way :meth:`~repro.core.engine.Engine.parallel_run` does —
+one thread per session, safe because every piece of mutable tensor
+state is session-local (PR 4's ``SessionTensorState``).  Instead of a
+fixed iteration count, each worker pulls
+:class:`~repro.serve.batcher.AssembledBatch` work from the shared
+:class:`~repro.serve.batcher.DynamicBatcher`, feeds the padded batch
+through its session, and scatters the output rows back to the riding
+requests' futures.
+
+Weight hot-swap (the ROADMAP item) is a *step barrier* built from two
+facts: batch assembly is atomic per request (every slice of a split
+request is published together), and :meth:`swap_weights` pauses
+assembly, drains ready + outstanding batches, and only then calls
+:meth:`~repro.core.engine.Engine.install_params`.  Every request
+therefore computes entirely on one weights version — in-flight requests
+(including the second half of a split one) finish on the old weights,
+requests still queued see the new.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.metrics import ServerMetrics
+from repro.serve.queue import RequestFuture, RequestQueue
+
+
+class InferenceServer:
+    """Serve variable-sized requests over one compiled engine.
+
+    ``workers`` infer sessions share the engine's compiled plans (one
+    planning pass however many workers).  ``policy`` picks the
+    registered coalescing strategy (``"fifo"``, ``"greedy-fill"``);
+    ``max_wait`` bounds how long a lone request waits for batch-mates.
+    Use as a context manager, or ``start()``/``stop()`` explicitly.
+    """
+
+    def __init__(self, engine: Engine, workers: int = 2,
+                 policy="fifo", max_wait: float = 0.002,
+                 clock: Callable[[], float] = monotonic):
+        if workers < 1:
+            raise ValueError(f"need >= 1 workers, got {workers}")
+        if not engine.supports_parallel("infer"):  # always true today;
+            raise TypeError(                       # guards future modes
+                "engine cannot drive parallel infer sessions")
+        self.engine = engine
+        self.workers = workers
+        self.clock = clock
+        self.queue = RequestQueue(sample_shape=engine.input_shape[1:],
+                                  clock=clock)
+        self.batcher = DynamicBatcher(self.queue, engine.batch_size,
+                                      policy=policy, max_wait=max_wait,
+                                      clock=clock)
+        self.metrics = ServerMetrics(clock=clock)
+        self._sessions: list = []
+        self._threads: list = []
+        self._started = False
+        self._stopped = False
+        # serializes swappers; the batcher pause/drain is the barrier
+        self._swap_lock = threading.Lock()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "InferenceServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        # compile before spawning so workers are pure run loops (the
+        # engine's compile lock would serialize them anyway)
+        self.engine.compiled("infer")
+        self.metrics.note_start()
+        for i in range(self.workers):
+            # history capped to 0: a serving worker runs unboundedly
+            # many iterations and every result holds traces + the
+            # output batch — retaining them would grow without limit
+            session = self.engine.session(mode="infer").with_history(0)
+            thread = threading.Thread(
+                target=self._worker_loop, args=(session,),
+                name=f"repro-serve-{i}", daemon=True)
+            self._sessions.append(session)
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def stop(self, drain: bool = True,
+             timeout: Optional[float] = None) -> bool:
+        """Shut down: close the queue, optionally drain the backlog,
+        join the workers, fail whatever could not run.  ``timeout``
+        bounds the whole stop (drain + joins); returns True when the
+        backlog fully drained (always False for ``drain=False``)."""
+        if not self._started or self._stopped:
+            return False
+        self._stopped = True
+        deadline = None if timeout is None else self.clock() + timeout
+        self.queue.close()
+        drained = self.batcher.wait_drained(timeout) if drain else False
+        self.batcher.shutdown()
+        for t in self._threads:
+            # post-shutdown a worker exits after at most one batch;
+            # honor what is left of the caller's budget, with a floor
+            # so timeout exhaustion cannot turn joins into no-waits
+            grace = 30.0 if deadline is None \
+                else max(1.0, deadline - self.clock())
+            t.join(timeout=grace)
+        stuck = [t.name for t in self._threads if t.is_alive()]
+        now = self.clock()
+        err = RuntimeError("server stopped before the request ran")
+        for batch in self.batcher.drain_ready():
+            for s in batch.slices:
+                if s.request.fail(err, now):
+                    self.metrics.record_failure(s.request)
+        with self.queue.cond:
+            leftover = self.queue.take_pending()
+        for req in leftover:
+            if req.fail(err, now):
+                self.metrics.record_failure(req)
+        if stuck:
+            # a worker outlived the join grace: leave its session alive
+            # (closing it under a running iteration would turn the
+            # orderly 'server stopped' failure into an internal crash);
+            # the threads are daemons, so interpreter exit reaps them
+            raise RuntimeError(
+                f"workers still running after shutdown: {stuck}; "
+                "their sessions were left open")
+        for s in self._sessions:
+            s.close()
+        self.metrics.note_stop()
+        return drained
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # -------------------------------------------------------------- serving
+    def submit(self, data: Optional[np.ndarray] = None,
+               size: Optional[int] = None) -> RequestFuture:
+        """Enqueue one request; returns its future.
+
+        Concrete engines require payload ``data`` of shape
+        ``(n, *sample_shape)`` — the rows the future's result maps back
+        to, bit-identical to running them alone.  Simulated engines
+        take a bare ``size`` (descriptor-only traffic: the full
+        batching/latency path with no payloads, so the future resolves
+        to ``None``).
+        """
+        if self.engine.config.concrete and data is None:
+            raise ValueError(
+                "a concrete engine serves payload rows; pass data= "
+                "(size-only requests are for simulated engines)")
+        if not self.engine.config.concrete and data is not None:
+            raise ValueError(
+                "a simulated engine holds no payloads, so the rows "
+                "would be silently ignored; pass size= instead")
+        return self.queue.submit(data=data, size=size).future
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted request has completed."""
+        return self.batcher.wait_drained(timeout)
+
+    def swap_weights(self, params: Dict[str, np.ndarray],
+                     timeout: Optional[float] = None) -> int:
+        """Install updated weights at a step barrier.
+
+        Pauses batch assembly, waits for every published batch to
+        finish (so each started request — including both halves of a
+        split one — completed on the old weights), installs, resumes.
+        Requests still in the queue during the barrier run on the new
+        weights.  Returns the number of parameter tensors installed.
+        """
+        with self._swap_lock:
+            self.batcher.pause()
+            try:
+                if not self.batcher.wait_idle(timeout):
+                    raise TimeoutError(
+                        f"in-flight batches still running after "
+                        f"{timeout}s; weights NOT swapped")
+                installed = self.engine.install_params(params)
+                self.metrics.note_swap(self.engine.weights_version)
+            finally:
+                self.batcher.resume()
+        return installed
+
+    def describe(self) -> str:
+        return (f"InferenceServer({self.engine.net.name}, "
+                f"{self.workers} workers, {self.batcher.describe()}, "
+                f"weights v{self.engine.weights_version})")
+
+    # -------------------------------------------------------------- workers
+    def _worker_loop(self, session) -> None:
+        concrete = self.engine.config.concrete
+        input_shape = self.engine.input_shape
+        iteration = 0
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:       # shutdown
+                return
+            now = self.clock()
+            for s in batch.slices:
+                s.request.mark_dispatched(now)
+            # read under the barrier's protection: a swap waits for this
+            # batch's mark_done before installing, so the version cannot
+            # change between here and the compute below
+            version = self.engine.weights_version
+            try:
+                feed = batch.build_feed(input_shape) if concrete else None
+                t0 = self.clock()
+                res = session.run_iteration(
+                    iteration, feed=feed,
+                    capture_output=feed is not None)
+                dt = self.clock() - t0
+                out = res.output
+                now = self.clock()
+                for s in batch.slices:
+                    rows = None if out is None else \
+                        np.array(out[s.row_offset:s.row_offset + s.rows])
+                    if s.request.deliver(s.part_index, rows, version, now):
+                        self.metrics.record_request(s.request)
+                self.metrics.record_batch(batch, dt)
+            except BaseException as exc:
+                now = self.clock()
+                for s in batch.slices:
+                    if s.request.fail(exc, now):
+                        self.metrics.record_failure(s.request)
+            finally:
+                self.batcher.mark_done(batch)
+            iteration += 1

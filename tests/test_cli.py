@@ -101,8 +101,37 @@ class TestCLI:
         assert rc == 0
         assert "thread-per-session (plans compiled 1x" in out
 
-    def test_serve_alias(self, capsys):
-        rc = main(["serve", "--net", "lenet", "--batch", "4",
-                   "--sessions", "1", "--iters", "1"])
+    def test_infer_timeout_flag(self, capsys):
+        rc = main(["infer", "--net", "lenet", "--batch", "4",
+                   "--sessions", "2", "--iters", "2", "--parallel",
+                   "--timeout", "120"])
         assert rc == 0
-        assert "img/s" in capsys.readouterr().out
+        assert "thread-per-session" in capsys.readouterr().out
+
+    def test_serve_dynamic_batching(self, capsys):
+        rc = main(["serve", "--net", "lenet", "--batch", "4",
+                   "--rate", "300", "--duration", "0.3",
+                   "--workers", "2", "--swaps", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DynamicBatcher(capacity=4" in out
+        assert "0 failed" in out
+        assert "weight swaps : 1" in out
+
+    def test_serve_concrete_fifo(self, capsys):
+        rc = main(["serve", "--net", "lenet", "--batch", "4",
+                   "--rate", "100", "--duration", "0.2",
+                   "--workers", "2", "--policy", "fifo", "--concrete"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "policy=fifo" in out and "concrete" in out
+
+    def test_serve_rejects_bad_rate(self, capsys):
+        rc = main(["serve", "--net", "lenet", "--rate", "0",
+                   "--duration", "1"])
+        assert rc == 2
+
+    def test_serve_rejects_bad_swaps_and_max_request(self, capsys):
+        assert main(["serve", "--net", "lenet", "--swaps", "-1"]) == 2
+        assert main(["serve", "--net", "lenet",
+                     "--max-request", "0"]) == 2
