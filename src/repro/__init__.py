@@ -27,6 +27,13 @@ See README.md for the full walkthrough and DESIGN.md for how each paper
 subsystem maps onto the packages below.
 """
 
+from repro.check import (
+    CheckReport,
+    Diagnostic,
+    PlanVerificationError,
+    lint_tree,
+    verify_engine,
+)
 from repro.core.config import RecomputeStrategy, RuntimeConfig, WorkspacePolicy
 from repro.core.engine import Engine, compile
 from repro.core.policy import (
@@ -65,5 +72,10 @@ __all__ = [
     "Trainer",
     "SGD",
     "zoo",
+    "CheckReport",
+    "Diagnostic",
+    "PlanVerificationError",
+    "lint_tree",
+    "verify_engine",
     "__version__",
 ]

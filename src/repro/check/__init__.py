@@ -1,0 +1,55 @@
+"""repro.check — static analysis for compiled plans and repo discipline.
+
+Two pillars (see DESIGN.md "Static checks"):
+
+* the **plan verifier** symbolically replays a compiled mode's frozen
+  schedules and proves the memory-safety invariants (PLAN001-PLAN006)
+  before any session executes them;
+* the **architecture linter** encodes the ownership/concurrency rules
+  the parallel-session design relies on (LINT001-LINT004) as AST checks
+  over ``src/repro/``.
+
+Both report structured :class:`~repro.check.diagnostics.Diagnostic`
+findings with provenance and serialize to the JSON artifact CI uploads.
+Entry points: ``repro check plan`` / ``repro check lint`` on the CLI,
+``Engine(..., verify=True)`` / ``RuntimeConfig.verify_plans`` at
+compile time.
+"""
+
+from repro.check.diagnostics import (
+    ALL_RULES,
+    CheckReport,
+    Diagnostic,
+    LINT_RULES,
+    PLAN_RULES,
+)
+from repro.check.lint import lint_paths, lint_source, lint_tree
+from repro.check.plan_verifier import (
+    PlanTrace,
+    PlanVerificationError,
+    SymStep,
+    SymTensor,
+    extract_trace,
+    verify_compiled_mode,
+    verify_engine,
+    verify_trace,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CheckReport",
+    "Diagnostic",
+    "LINT_RULES",
+    "PLAN_RULES",
+    "PlanTrace",
+    "PlanVerificationError",
+    "SymStep",
+    "SymTensor",
+    "extract_trace",
+    "lint_paths",
+    "lint_source",
+    "lint_tree",
+    "verify_compiled_mode",
+    "verify_engine",
+    "verify_trace",
+]

@@ -13,6 +13,11 @@ Commands
 ``serve``   — the real serving loop: an InferenceServer coalescing a
               synthetic arrival trace (``--rate``, ``--duration``)
               into dynamic batches over ``--workers`` sessions.
+``check``   — static analysis: ``check plan`` compiles nets across the
+              ablation ladder and verifies every schedule's memory-safety
+              invariants (PLAN001-PLAN006); ``check lint`` runs the
+              architecture linter (LINT001-LINT004) over ``src/repro``.
+              Both support ``--format json`` for CI artifacts.
 """
 
 from __future__ import annotations
@@ -278,6 +283,64 @@ def cmd_serve(args) -> int:
     return 1 if failed else 0
 
 
+#: the paper's ablation ladder: each rung is a RuntimeConfig classmethod
+ABLATION_LADDER = ("baseline", "liveness_only", "liveness_offload",
+                   "superneurons")
+
+
+def _emit_report(report, args) -> int:
+    """Render a CheckReport per --format/--output; exit 1 on errors."""
+    out = report.to_json() if args.format == "json" else report.render()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(out + "\n")
+        # keep the console actionable even when the artifact goes to disk
+        n_err, n_warn = len(report.errors), len(report.warnings)
+        print(f"{report.tool}: {len(report.checked)} target(s) checked, "
+              f"{n_err} error(s), {n_warn} warning(s) -> {args.output}")
+        for d in report.errors:
+            print("  " + d.render(), file=sys.stderr)
+    else:
+        print(out)
+    return 0 if report.ok else 1
+
+
+def cmd_check_lint(args) -> int:
+    """Architecture linter over the repro sources."""
+    from repro.check import lint_paths, lint_tree
+
+    report = lint_paths(args.paths) if args.paths else lint_tree()
+    return _emit_report(report, args)
+
+
+def cmd_check_plan(args) -> int:
+    """Compile and statically verify plans across the ablation ladder."""
+    from repro.core.config import RuntimeConfig
+    from repro.check import CheckReport, verify_compiled_mode
+
+    nets = sorted(NETWORK_BUILDERS) if args.all else [_net_name(args)]
+    rungs = args.configs.split(",") if args.configs else list(ABLATION_LADDER)
+    modes = args.modes.split(",") if args.modes else ["train", "infer"]
+    for rung in rungs:
+        if rung not in ABLATION_LADDER:
+            print(f"unknown ladder config {rung!r}; expected one of "
+                  f"{', '.join(ABLATION_LADDER)}", file=sys.stderr)
+            return 2
+    report = CheckReport(tool="plan-verifier")
+    for name in nets:
+        for rung in rungs:
+            cfg = getattr(RuntimeConfig, rung)(
+                concrete=False, gpu_capacity=int(args.gpu_gb * GiB))
+            engine = Engine(NETWORK_BUILDERS[name](batch=args.batch), cfg)
+            for mode in modes:
+                target = f"{name}/{mode}@{rung}"
+                report.checked.append(target)
+                report.extend(verify_compiled_mode(
+                    engine.net, engine.compiled(mode),
+                    engine.config.for_mode(mode), target=target))
+    return _emit_report(report, args)
+
+
 def cmd_policies(args) -> int:
     if args.framework_name:
         names = [args.framework_name]
@@ -360,6 +423,40 @@ def main(argv=None) -> int:
                    help="seconds to wait for the backlog to drain "
                         "before aborting")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("check", help="static analysis (plans + lint)")
+    csub = p.add_subparsers(dest="check_command", required=True)
+
+    cp = csub.add_parser("plan",
+                         help="compile and verify plans across the "
+                              "ablation ladder")
+    cp.add_argument("--net", choices=sorted(NETWORK_BUILDERS), default=None)
+    cp.add_argument("--all", action="store_true",
+                    help="verify every zoo network")
+    cp.add_argument("--batch", type=int, default=8)
+    cp.add_argument("--gpu-gb", type=float, default=12.0,
+                    help="device DRAM capacity in GiB")
+    cp.add_argument("--configs", default=None,
+                    help="comma-separated ladder rungs "
+                         f"(default: {','.join(ABLATION_LADDER)})")
+    cp.add_argument("--modes", default=None,
+                    help="comma-separated execution modes "
+                         "(default: train,infer)")
+    cp.add_argument("--format", choices=("text", "json"), default="text")
+    cp.add_argument("--output", default=None,
+                    help="write the report here instead of stdout "
+                         "(errors still echo to stderr)")
+    cp.set_defaults(fn=cmd_check_plan)
+
+    cl = csub.add_parser("lint",
+                         help="architecture linter over src/repro")
+    cl.add_argument("paths", nargs="*",
+                    help="files/directories to lint (default: the "
+                         "installed repro package)")
+    cl.add_argument("--format", choices=("text", "json"), default="text")
+    cl.add_argument("--output", default=None,
+                    help="write the report here instead of stdout")
+    cl.set_defaults(fn=cmd_check_lint)
 
     p = sub.add_parser("policies", help="memory-policy stack per framework")
     p.add_argument("framework_name", nargs="?", default=None,

@@ -156,12 +156,17 @@ class Engine:
     :attr:`compile_count` counts the planning passes actually run.
     """
 
-    def __init__(self, net: Net, config: Optional[RuntimeConfig] = None):
+    def __init__(self, net: Net, config: Optional[RuntimeConfig] = None,
+                 verify: Optional[bool] = None):
         self.net = net.build()
         # private copy: compiled plans are derived from the config, so
         # later caller-side mutation must not desync them from workers
         self.config = replace(config) if config is not None \
             else RuntimeConfig()
+        #: run the static plan verifier on every mode before caching it
+        #: (None defers to config.verify_plans)
+        self.verify_plans = self.config.verify_plans if verify is None \
+            else verify
         #: shared base planning passes (the Alg. 1 topological order).
         #: At most 1, however many modes compile — the tests assert
         #: train+infer share one planning pass.
@@ -190,12 +195,41 @@ class Engine:
             cm = self._compiled.get(mode)
             if cm is None:
                 cm = self._compile_mode(mode)
+                if self.verify_plans:
+                    self._verify_mode(mode, cm)
                 self._compiled[mode] = cm
                 self.mode_compile_count += 1
         return cm
 
+    def _verify_mode(self, mode: str, cm: CompiledMode) -> None:
+        """Statically verify one compiled mode (before it is cached).
+
+        Raises :class:`~repro.check.plan_verifier.PlanVerificationError`
+        on any error-severity finding, so a memory-unsafe plan can never
+        be replayed by a session.  Lazy import: engines that never arm
+        verification never load the checker.
+        """
+        from repro.check.diagnostics import CheckReport
+        from repro.check.plan_verifier import (
+            PlanVerificationError, verify_compiled_mode)
+        target = f"{self.net.name}/{mode}"
+        report = CheckReport(tool="plan-verifier", checked=[target])
+        report.extend(verify_compiled_mode(
+            self.net, cm, self.config.for_mode(mode), target=target))
+        if not report.ok:
+            raise PlanVerificationError(report)
+
+    def _assert_compile_locked(self) -> None:
+        """Planning-state mutation guard: helpers that write the
+        engine-shared compile caches must run under ``_compile_lock``
+        (the LINT003 rule accepts this assertion as proof)."""
+        if not self._compile_lock.locked():
+            raise RuntimeError(
+                "engine planning state mutated outside _compile_lock")
+
     def _planning_base(self) -> PlanningBase:
         """The ONE shared planning pass (lazy; counted)."""
+        self._assert_compile_locked()
         if self._base is None:
             self._base = PlanningBase(forward_layers=forward_order(self.net))
             self.compile_count += 1
@@ -418,7 +452,9 @@ class Engine:
             staged.append((layer, p, arr))
         for layer, p, arr in staged:
             layer.param_values[p.tensor_id] = arr
-        self.weights_version += 1
+        # the caller quiesces sessions around the swap (see docstring);
+        # the version bump is that documented barrier, not compile state
+        self.weights_version += 1  # repro-lint: allow LINT003 swap barrier
         return len(staged)
 
     # ------------------------------------------------------------ inspection
@@ -460,13 +496,16 @@ class Engine:
 
 
 def compile(net: Net, config: Optional[RuntimeConfig] = None,
-            modes: Tuple[str, ...] = ()) -> Engine:
+            modes: Tuple[str, ...] = (),
+            verify: Optional[bool] = None) -> Engine:
     """Compile a network into an :class:`Engine`.
 
     ``modes`` eagerly compiles the named execution modes; by default
     compilation happens lazily when the first session of a mode runs.
+    ``verify=True`` runs the static plan verifier on every compiled
+    mode and refuses to cache one that fails (see :mod:`repro.check`).
     """
-    engine = Engine(net, config)
+    engine = Engine(net, config, verify=verify)
     for mode in modes:
         engine.compiled(mode)
     return engine

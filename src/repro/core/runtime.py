@@ -256,7 +256,9 @@ class Executor:
         # ALL executor-mutated tensor state is session-local: this table
         # (placement, locks, host residency, arrivals, live set) is what
         # lets N executors share one net's descriptors concurrently.
-        self.state = SessionTensorState()
+        # validate=None defers to REPRO_VALIDATE_STATE, so test/CI
+        # processes arm the placement state machine for every session.
+        self.state = SessionTensorState(validate=cfg.validate_state)
 
         # the policy stack (ordered; dispatch order is semantic)
         self.policies: List[MemoryPolicy] = (

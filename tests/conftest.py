@@ -1,0 +1,16 @@
+"""Suite-wide fixtures and environment.
+
+Arming ``REPRO_VALIDATE_STATE`` here means every ``SessionTensorState``
+the suite constructs — not just the property tests that opt in — runs
+the placement state machine, so an illegal transition anywhere in the
+ablation ladder fails the suite loudly as
+:class:`~repro.core.tensor_state.IllegalPlacementTransition` instead of
+corrupting state silently.  ``setdefault`` keeps an explicit caller
+override (``REPRO_VALIDATE_STATE=0 pytest ...``) working, and tests
+that pass ``validate=`` explicitly are unaffected: the env default only
+applies to ``validate=None``.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_VALIDATE_STATE", "1")
