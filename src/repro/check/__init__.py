@@ -1,55 +1,92 @@
-"""repro.check — static analysis for compiled plans and repo discipline.
+"""repro.check — static & dynamic analysis for plans, source, and runs.
 
-Two pillars (see DESIGN.md "Static checks"):
+Three pillars (see DESIGN.md "Static checks" and "Concurrency model"):
 
 * the **plan verifier** symbolically replays a compiled mode's frozen
   schedules and proves the memory-safety invariants (PLAN001-PLAN006)
   before any session executes them;
 * the **architecture linter** encodes the ownership/concurrency rules
-  the parallel-session design relies on (LINT001-LINT004) as AST checks
-  over ``src/repro/``.
+  the parallel-session design relies on (LINT001-LINT005) as AST checks
+  over ``src/repro/``;
+* the **race detector** replays a vector-clock happens-before + lockset
+  analysis over one instrumented execution's synchronization log
+  (RACE001-RACE005), catching races and potential deadlocks that
+  bit-identity tests can miss by lucky scheduling.
 
-Both report structured :class:`~repro.check.diagnostics.Diagnostic`
-findings with provenance and serialize to the JSON artifact CI uploads.
-Entry points: ``repro check plan`` / ``repro check lint`` on the CLI,
-``Engine(..., verify=True)`` / ``RuntimeConfig.verify_plans`` at
-compile time.
+All report structured :class:`~repro.check.diagnostics.Diagnostic`
+findings with provenance and serialize to the JSON artifacts CI
+uploads.  Entry points: ``repro check plan`` / ``check lint`` /
+``check race`` on the CLI; ``Engine(..., verify=True)`` /
+``RuntimeConfig.verify_plans`` at compile time;
+``RuntimeConfig.trace_sync`` / ``REPRO_TRACE_SYNC=1`` to arm the
+synchronization trace.
+
+Attribute resolution is lazy (PEP 562): ``repro.check.instrument`` is
+imported by core modules (engine, tensor_state) whose own import chain
+reaches back into the plan verifier's dependencies — an eager import
+here would be a cycle.  ``instrument`` itself depends only on stdlib.
 """
 
-from repro.check.diagnostics import (
-    ALL_RULES,
-    CheckReport,
-    Diagnostic,
-    LINT_RULES,
-    PLAN_RULES,
-)
-from repro.check.lint import lint_paths, lint_source, lint_tree
-from repro.check.plan_verifier import (
-    PlanTrace,
-    PlanVerificationError,
-    SymStep,
-    SymTensor,
-    extract_trace,
-    verify_compiled_mode,
-    verify_engine,
-    verify_trace,
-)
+from __future__ import annotations
 
-__all__ = [
-    "ALL_RULES",
-    "CheckReport",
-    "Diagnostic",
-    "LINT_RULES",
-    "PLAN_RULES",
-    "PlanTrace",
-    "PlanVerificationError",
-    "SymStep",
-    "SymTensor",
-    "extract_trace",
-    "lint_paths",
-    "lint_source",
-    "lint_tree",
-    "verify_compiled_mode",
-    "verify_engine",
-    "verify_trace",
-]
+import importlib
+from typing import Dict
+
+#: public name -> owning submodule
+_EXPORTS: Dict[str, str] = {
+    # diagnostics
+    "ALL_RULES": "diagnostics",
+    "CheckReport": "diagnostics",
+    "Diagnostic": "diagnostics",
+    "LINT_RULES": "diagnostics",
+    "PLAN_RULES": "diagnostics",
+    "RACE_RULES": "diagnostics",
+    # linter
+    "lint_paths": "lint",
+    "lint_source": "lint",
+    "lint_tree": "lint",
+    # plan verifier
+    "PlanTrace": "plan_verifier",
+    "PlanVerificationError": "plan_verifier",
+    "SymStep": "plan_verifier",
+    "SymTensor": "plan_verifier",
+    "extract_trace": "plan_verifier",
+    "verify_compiled_mode": "plan_verifier",
+    "verify_engine": "plan_verifier",
+    "verify_trace": "plan_verifier",
+    # instrumentation
+    "EventLog": "instrument",
+    "SyncEvent": "instrument",
+    "TracedCondition": "instrument",
+    "TracedEvent": "instrument",
+    "TracedLock": "instrument",
+    "TracedThread": "instrument",
+    "arm": "instrument",
+    "armed": "instrument",
+    "capture": "instrument",
+    "channel_recv": "instrument",
+    "channel_send": "instrument",
+    "disarm": "instrument",
+    "trace_read": "instrument",
+    "trace_write": "instrument",
+    # race detector + scenarios
+    "analyze_log": "race_detector",
+    "run_parallel_scenario": "scenarios",
+    "run_serving_scenario": "scenarios",
+}
+
+__all__ = sorted(_EXPORTS) + ["instrument"]
+
+
+def __getattr__(name: str):
+    if name == "instrument":
+        return importlib.import_module("repro.check.instrument")
+    mod = _EXPORTS.get(name)
+    if mod is None:
+        raise AttributeError(f"module 'repro.check' has no attribute "
+                             f"{name!r}")
+    return getattr(importlib.import_module(f"repro.check.{mod}"), name)
+
+
+def __dir__():
+    return __all__

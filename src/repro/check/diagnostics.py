@@ -1,4 +1,5 @@
-"""Structured diagnostics shared by the plan verifier and the linter.
+"""Structured diagnostics shared by the plan verifier, the linter, and
+the race detector.
 
 Every violation either tool reports is a :class:`Diagnostic`: a stable
 rule id (``PLAN001``, ``LINT003``, ...), a short rule name, a severity,
@@ -41,9 +42,20 @@ LINT_RULES: Dict[str, str] = {
     "LINT002": "unregistered-policy",
     "LINT003": "unguarded-shared-state",
     "LINT004": "bare-lock-acquire",
+    "LINT005": "raw-sync-primitive",
 }
 
-ALL_RULES: Dict[str, str] = {**PLAN_RULES, **LINT_RULES}
+#: Race-detector rules: findings over one instrumented execution's
+#: happens-before / lockset analysis (see repro.check.race_detector).
+RACE_RULES: Dict[str, str] = {
+    "RACE001": "unordered-conflicting-access",
+    "RACE002": "lock-order-inversion",
+    "RACE003": "unsynchronized-publish",
+    "RACE004": "lock-held-across-wait",
+    "RACE005": "incomplete-trace",
+}
+
+ALL_RULES: Dict[str, str] = {**PLAN_RULES, **LINT_RULES, **RACE_RULES}
 
 
 @dataclass(frozen=True)

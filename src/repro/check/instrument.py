@@ -1,0 +1,359 @@
+"""Synchronization instrumentation: traced primitives + the event log.
+
+The race detector (:mod:`repro.check.race_detector`) is an *execution*
+checker: it replays a happens-before analysis over a log of every
+synchronization operation and shared-state access one run performed.
+This module is the recording half:
+
+* :class:`TracedLock` / :class:`TracedCondition` / :class:`TracedEvent`
+  / :class:`TracedThread` — drop-in wrappers over the ``threading``
+  primitives that append :class:`SyncEvent` records to the armed
+  :class:`EventLog`.  LINT005 forbids constructing the raw primitives
+  anywhere else in ``src/repro``, so production code is
+  sanitizer-ready by construction;
+* :func:`trace_read` / :func:`trace_write` — shared-state access hooks
+  placed on the cross-thread surfaces (``SessionTensorState`` table
+  writes, ``Engine.weights_version`` / parameter installs, the
+  compiled-mode cache);
+* :func:`channel_send` / :func:`channel_recv` — explicit happens-before
+  edges for message-passing hand-offs that no single lock models (the
+  request queue put/take, batch publish/pop, ``parallel_run``'s
+  submit/collect).
+
+Arming
+------
+Tracing is process-global and off by default: every hook first checks
+the module-level :data:`ACTIVE` log and returns immediately when it is
+``None`` (one global load + ``is None`` per operation — the "near-zero
+when disarmed" contract the serving benchmark holds to ≤5%).  Arm it
+with :func:`arm`/:func:`capture`, via ``RuntimeConfig.trace_sync``, or
+by exporting ``REPRO_TRACE_SYNC=1`` (consulted once, at import — how
+the CI stress/race jobs arm whole scripts without code changes).
+
+Gate locks
+----------
+``TracedLock(..., gate=True)`` marks a lock *designed* to be held
+across a blocking wait — e.g. the server's swap lock, which serializes
+swappers while each waits out the batcher drain barrier.  RACE004
+(lock-held-across-wait) skips gate locks; the flag is the audited,
+greppable record of that intent, exactly like a lint pragma.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, NamedTuple, Optional
+
+#: Environment switch: "1"/"true"/"yes"/"on" arms tracing at import.
+TRACE_ENV = "REPRO_TRACE_SYNC"
+
+#: Default event-log capacity.  On overflow the log stops appending and
+#: sets :attr:`EventLog.truncated`; the detector reports RACE005
+#: (incomplete-trace, warning) so a silently-partial analysis is
+#: impossible.
+DEFAULT_LIMIT = 2_000_000
+
+
+class SyncEvent(NamedTuple):
+    """One synchronization operation or shared-state access."""
+
+    seq: int        # global order (assigned under the log's lock)
+    thread: str     # stable per-log thread key (name, deduped by ident)
+    kind: str       # see KINDS
+    obj: int        # id() of the primitive / shared-state owner
+    label: str      # human label ("serve.queue", "engine.weights_version")
+    detail: str     # tensor name, channel token, "timeout", ...
+    gate: bool      # lock acquires only: held-across-wait is intended
+
+
+#: Event kinds the detector understands.
+KINDS = frozenset({
+    "acquire", "release",            # TracedLock / monitor enter-exit
+    "wait_begin", "wait_end",        # condition wait (releases monitor)
+    "notify",                        # condition notify (reporting only)
+    "event_set", "event_wait_begin", "event_wait_end",
+    "chan_send", "chan_recv",        # explicit hand-off edges
+    "thread_start", "thread_begin",  # parent spawn -> child first step
+    "thread_end", "thread_join",     # child last step -> parent join
+    "read", "write",                 # shared-state accesses
+})
+
+
+class EventLog:
+    """Thread-safe append-only log of :class:`SyncEvent` records.
+
+    Appends serialize on one internal (raw, untraced) lock, so ``seq``
+    is a total order consistent with the real execution: a lock-release
+    record is appended while the lock is still held, an acquire record
+    after acquisition, which keeps the log order a linearization of the
+    synchronization order the detector replays.
+    """
+
+    def __init__(self, limit: int = DEFAULT_LIMIT):
+        if limit < 1:
+            raise ValueError(f"event log limit must be >= 1, got {limit}")
+        self._lock = threading.Lock()   # the one raw lock: LINT005 owner
+        self.events: List[SyncEvent] = []
+        self.limit = limit
+        self.truncated = False
+        self._thread_keys: Dict[int, str] = {}    # id(thread) -> key
+        self._threads: List[threading.Thread] = []  # pins: ids stay unique
+        self._names_seen: Dict[str, int] = {}     # name -> count
+
+    def _thread_key(self, t: threading.Thread) -> str:
+        """A stable, human-readable per-thread key.
+
+        Thread *names* read well in diagnostics but are not unique, and
+        idents are recycled the moment a thread exits (a short-lived
+        thread's ident routinely reappears on the next spawn) — so key
+        by the Thread *object*, pinned in ``_threads`` for the log's
+        lifetime to keep its ``id()`` unique.  First thread to record
+        under a name owns it; later same-named threads get ``name#N``.
+        """
+        key = self._thread_keys.get(id(t))
+        if key is None:
+            n = self._names_seen.get(t.name, 0)
+            self._names_seen[t.name] = n + 1
+            key = t.name if n == 0 else f"{t.name}#{n + 1}"
+            self._thread_keys[id(t)] = key
+            self._threads.append(t)
+        return key
+
+    def record(self, kind: str, obj: int = 0, label: str = "",
+               detail: str = "", gate: bool = False) -> None:
+        t = threading.current_thread()
+        with self._lock:
+            if len(self.events) >= self.limit:
+                self.truncated = True
+                return
+            self.events.append(SyncEvent(
+                len(self.events), self._thread_key(t), kind, obj,
+                label, detail, gate))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _env_armed() -> bool:
+    return os.environ.get(TRACE_ENV, "").strip().lower() \
+        in ("1", "true", "yes", "on")
+
+
+#: The armed log, or ``None`` when tracing is off.  Hot paths read this
+#: module attribute directly (``instrument.ACTIVE is not None``) so the
+#: disarmed cost is one global load per hook.
+ACTIVE: Optional[EventLog] = None
+
+
+def arm(log: Optional[EventLog] = None) -> EventLog:
+    """Arm tracing (idempotent when already armed and ``log`` is None)."""
+    global ACTIVE
+    if log is not None:
+        ACTIVE = log
+    elif ACTIVE is None:
+        ACTIVE = EventLog()
+    return ACTIVE
+
+
+def disarm() -> Optional[EventLog]:
+    """Disarm tracing; returns the log that was active (if any)."""
+    global ACTIVE
+    log, ACTIVE = ACTIVE, None
+    return log
+
+
+def armed() -> bool:
+    return ACTIVE is not None
+
+
+def active_log() -> Optional[EventLog]:
+    return ACTIVE
+
+
+def resolve_arm(flag: Optional[bool]) -> None:
+    """Arm per a ``RuntimeConfig.trace_sync`` value: ``True`` arms,
+    ``False``/``None`` leave the current state alone (``None`` defers
+    to the environment switch, which was applied at import)."""
+    if flag:
+        arm()
+
+
+@contextmanager
+def capture(limit: int = DEFAULT_LIMIT) -> Iterator[EventLog]:
+    """Arm a fresh log for the enclosed block, then restore the
+    previous arming state — the scenario/test entry point."""
+    global ACTIVE
+    prev = ACTIVE
+    log = EventLog(limit=limit)
+    ACTIVE = log
+    try:
+        yield log
+    finally:
+        ACTIVE = prev
+
+
+def _rec(kind: str, obj: int, label: str, detail: str = "",
+         gate: bool = False) -> None:
+    log = ACTIVE
+    if log is not None:
+        log.record(kind, obj, label, detail, gate)
+
+
+# ------------------------------------------------------------- primitives
+class TracedLock:
+    """Drop-in ``threading.Lock`` held via ``with`` (LINT004 already
+    forbids bare ``.acquire()``; this wrapper simply does not offer it).
+
+    ``gate=True`` documents a lock intended to be held across a
+    blocking wait (see module docstring); RACE004 skips it.
+    """
+
+    __slots__ = ("_lock", "label", "gate")
+
+    def __init__(self, label: str = "lock", *, gate: bool = False):
+        self._lock = threading.Lock()
+        self.label = label
+        self.gate = gate
+
+    def __enter__(self) -> "TracedLock":
+        self._lock.__enter__()
+        _rec("acquire", id(self), self.label, gate=self.gate)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        # record while still holding: the release event's seq precedes
+        # any subsequent acquire of the same lock
+        _rec("release", id(self), self.label)
+        return self._lock.__exit__(exc_type, exc, tb)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TracedLock({self.label!r}{', gate' if self.gate else ''})"
+
+
+class TracedCondition:
+    """Drop-in ``threading.Condition`` (own monitor, entered via
+    ``with``).  ``wait`` records the monitor hand-off — begin counts as
+    a release (and is the RACE004 checkpoint), end as a re-acquire."""
+
+    __slots__ = ("_cond", "label")
+
+    def __init__(self, label: str = "cond"):
+        self._cond = threading.Condition()
+        self.label = label
+
+    def __enter__(self) -> "TracedCondition":
+        self._cond.__enter__()
+        _rec("acquire", id(self), self.label)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _rec("release", id(self), self.label)
+        return self._cond.__exit__(exc_type, exc, tb)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        _rec("wait_begin", id(self), self.label)
+        ok = self._cond.wait(timeout)
+        _rec("wait_end", id(self), self.label,
+             detail="ok" if ok else "timeout")
+        return ok
+
+    def notify(self, n: int = 1) -> None:
+        _rec("notify", id(self), self.label)
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        _rec("notify", id(self), self.label)
+        self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TracedCondition({self.label!r})"
+
+
+class TracedEvent:
+    """Drop-in ``threading.Event``; ``set`` -> successful ``wait`` is a
+    happens-before edge (the future-completion hand-off)."""
+
+    __slots__ = ("_event", "label")
+
+    def __init__(self, label: str = "event"):
+        self._event = threading.Event()
+        self.label = label
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def set(self) -> None:
+        # record first: a waiter can only observe the flag after the
+        # physical set, so its wait_end seq lands after this one
+        _rec("event_set", id(self), self.label)
+        self._event.set()
+
+    def clear(self) -> None:
+        self._event.clear()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        _rec("event_wait_begin", id(self), self.label)
+        ok = self._event.wait(timeout)
+        if ok:
+            _rec("event_wait_end", id(self), self.label)
+        return ok
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TracedEvent({self.label!r}, set={self.is_set()})"
+
+
+class TracedThread(threading.Thread):
+    """``threading.Thread`` recording spawn/begin/end/join edges:
+    ``start`` (parent) happens-before the child's first step, and the
+    child's last step happens-before a successful ``join``."""
+
+    def start(self) -> None:
+        _rec("thread_start", id(self), self.name)
+        super().start()
+
+    def run(self) -> None:
+        _rec("thread_begin", id(self), self.name)
+        try:
+            super().run()
+        finally:
+            _rec("thread_end", id(self), self.name)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        super().join(timeout)
+        if not self.is_alive():
+            _rec("thread_join", id(self), self.name)
+
+
+# ----------------------------------------------------- access / edge hooks
+def trace_read(owner: object, label: str, detail: str = "") -> None:
+    """Record a read of shared state ``(owner, label)``."""
+    _rec("read", id(owner), label, detail)
+
+
+def trace_write(owner: object, label: str, detail: str = "") -> None:
+    """Record a write to shared state ``(owner, label)``."""
+    _rec("write", id(owner), label, detail)
+
+
+def channel_send(token: str, label: str = "chan") -> None:
+    """Publish a happens-before source under ``token`` (joined by every
+    later :func:`channel_recv` of the same token)."""
+    _rec("chan_send", 0, label, detail=token)
+
+
+def channel_recv(token: str, label: str = "chan") -> None:
+    """Join the accumulated clock of ``token``'s sends into the calling
+    thread (no-op if nothing was sent — the detector just finds no
+    edge)."""
+    _rec("chan_recv", 0, label, detail=token)
+
+
+# module init: the environment switch arms process-wide tracing for
+# whole scripts (CI stress / race-sanitizer jobs) without code changes
+if _env_armed():  # pragma: no cover - exercised via subprocess in CI
+    arm()

@@ -28,6 +28,12 @@ parsed tree, with ``file:line`` provenance:
   naming the documented barrier (e.g. the weight-swap quiescence).
 * **LINT004 bare-lock-acquire** — no ``.acquire()`` calls; hold locks
   with ``with`` so every exit path releases.
+* **LINT005 raw-sync-primitive** — no direct construction of
+  ``threading.Lock`` / ``Condition`` / ``Event`` / ``Thread`` outside
+  ``check/instrument.py``: production code uses the traced wrappers so
+  every synchronization point is visible to the race sanitizer.  A raw
+  primitive is a blind spot — the detector cannot prove what it never
+  saw.
 
 Suppression: append ``# repro-lint: allow LINTxxx <reason>`` to the
 offending line.  The reason is mandatory — a pragma without one is
@@ -59,6 +65,14 @@ REGISTRY_BASES = {
 #: the engine-shared-state lock attribute LINT003 keys on
 COMPILE_LOCK_ATTR = "_compile_lock"
 
+#: raw threading primitives LINT005 forbids constructing directly
+RAW_SYNC_PRIMITIVES = frozenset({"Lock", "RLock", "Condition", "Event",
+                                 "Semaphore", "BoundedSemaphore",
+                                 "Barrier", "Thread"})
+
+#: the one module allowed to touch raw primitives (it wraps them)
+SYNC_OWNER = "instrument.py"
+
 #: a call to a method matching this proves the caller runs locked
 LOCK_ASSERT_RE = re.compile(r"^_assert_.*locked$")
 
@@ -83,6 +97,11 @@ class _FileLinter(ast.NodeVisitor):
         self.path = path            # provenance string (repo-relative)
         self.filename = filename    # basename, for owner exemptions
         self.findings: List[Diagnostic] = []
+        # LINT005 name resolution: aliases of the threading module, and
+        # names imported *from* it ("Event" alone is not evidence — the
+        # device timeline has an unrelated NamedTuple by that name)
+        self._threading_aliases: Set[str] = set()
+        self._threading_imports: Set[str] = set()
 
     def emit(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(Diagnostic(
@@ -117,7 +136,21 @@ class _FileLinter(ast.NodeVisitor):
         self._check_attr_targets(node, [node.target])
         self.generic_visit(node)
 
-    # -- LINT004: bare lock acquisition ----------------------------------
+    # -- LINT005: import tracking ----------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "threading":
+                self._threading_aliases.add(alias.asname or "threading")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "threading":
+            for alias in node.names:
+                if alias.name in RAW_SYNC_PRIMITIVES:
+                    self._threading_imports.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- LINT004 + LINT005: call-level rules ------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         if isinstance(node.func, ast.Attribute) \
                 and node.func.attr == "acquire":
@@ -126,7 +159,33 @@ class _FileLinter(ast.NodeVisitor):
                 "bare .acquire() — hold locks with a `with` block so "
                 "every exit path (including exceptions) releases",
             )
+        self._check_raw_primitive(node)
         self.generic_visit(node)
+
+    def _check_raw_primitive(self, node: ast.Call) -> None:
+        if self.filename == SYNC_OWNER:
+            return  # the wrapper module owns the raw primitives
+        fn = node.func
+        name: Optional[str] = None
+        if isinstance(fn, ast.Attribute) \
+                and isinstance(fn.value, ast.Name) \
+                and fn.value.id in (self._threading_aliases or {"threading"}) \
+                and fn.attr in RAW_SYNC_PRIMITIVES:
+            name = fn.attr
+        elif isinstance(fn, ast.Name) and fn.id in self._threading_imports:
+            name = fn.id
+        if name is not None:
+            wrapper = {"RLock": "TracedLock", "Lock": "TracedLock",
+                       "Condition": "TracedCondition",
+                       "Event": "TracedEvent",
+                       "Thread": "TracedThread"}.get(
+                           name, "a traced wrapper")
+            self.emit(
+                "LINT005", node,
+                f"raw threading.{name}() — use {wrapper} from "
+                f"check/instrument.py so the race sanitizer sees this "
+                f"synchronization point (pragma only with a reason)",
+            )
 
     # -- LINT002 + LINT003: class-level rules ----------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:

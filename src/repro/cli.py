@@ -13,11 +13,16 @@ Commands
 ``serve``   — the real serving loop: an InferenceServer coalescing a
               synthetic arrival trace (``--rate``, ``--duration``)
               into dynamic batches over ``--workers`` sessions.
-``check``   — static analysis: ``check plan`` compiles nets across the
+``check``   — program analysis: ``check plan`` compiles nets across the
               ablation ladder and verifies every schedule's memory-safety
               invariants (PLAN001-PLAN006); ``check lint`` runs the
-              architecture linter (LINT001-LINT004) over ``src/repro``.
-              Both support ``--format json`` for CI artifacts.
+              architecture linter (LINT001-LINT005) over ``src/repro``;
+              ``check race`` drives the instrumented stress scenarios
+              through the happens-before race detector (RACE001-RACE005).
+              All support ``--format json`` for CI artifacts and
+              ``--fail-on {warning,error}``; exit codes are 0 (clean),
+              1 (findings at or above the threshold), 2 (usage or
+              internal error).
 """
 
 from __future__ import annotations
@@ -289,7 +294,11 @@ ABLATION_LADDER = ("baseline", "liveness_only", "liveness_offload",
 
 
 def _emit_report(report, args) -> int:
-    """Render a CheckReport per --format/--output; exit 1 on errors."""
+    """Render a CheckReport per --format/--output.
+
+    Exit code: 0 clean, 1 when findings reach the --fail-on threshold
+    ("error" by default; "warning" also fails on warnings).
+    """
     out = report.to_json() if args.format == "json" else report.render()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:
@@ -302,9 +311,27 @@ def _emit_report(report, args) -> int:
             print("  " + d.render(), file=sys.stderr)
     else:
         print(out)
-    return 0 if report.ok else 1
+    failing = report.diagnostics if args.fail_on == "warning" \
+        else report.errors
+    return 1 if failing else 0
 
 
+def _check_cmd(fn):
+    """Wrap a check subcommand: any internal crash exits 2, keeping the
+    documented code space (0 clean / 1 findings / 2 usage-or-internal)
+    stable for CI."""
+    def run(args) -> int:
+        try:
+            return fn(args)
+        except BrokenPipeError:  # pragma: no cover - piping artifact
+            raise
+        except Exception as exc:
+            print(f"check: internal error: {exc}", file=sys.stderr)
+            return 2
+    return run
+
+
+@_check_cmd
 def cmd_check_lint(args) -> int:
     """Architecture linter over the repro sources."""
     from repro.check import lint_paths, lint_tree
@@ -313,6 +340,7 @@ def cmd_check_lint(args) -> int:
     return _emit_report(report, args)
 
 
+@_check_cmd
 def cmd_check_plan(args) -> int:
     """Compile and statically verify plans across the ablation ladder."""
     from repro.core.config import RuntimeConfig
@@ -338,6 +366,37 @@ def cmd_check_plan(args) -> int:
                 report.extend(verify_compiled_mode(
                     engine.net, engine.compiled(mode),
                     engine.config.for_mode(mode), target=target))
+    return _emit_report(report, args)
+
+
+@_check_cmd
+def cmd_check_race(args) -> int:
+    """Run the instrumented stress scenarios under the race detector."""
+    from repro.check import CheckReport, analyze_log
+    from repro.check.scenarios import (
+        run_parallel_scenario, run_serving_scenario)
+
+    report = CheckReport(tool="race-detector")
+    if args.scenario in ("parallel", "all"):
+        log, info = run_parallel_scenario(
+            net=_net_name(args), sessions=args.sessions,
+            iters=args.iters, batch=args.batch, limit=args.limit)
+        sub = analyze_log(log, target="parallel")
+        report.checked.extend(sub.checked)
+        report.extend(sub.diagnostics)
+        print(f"parallel scenario: {info['sessions']} sessions x "
+              f"{info['iters']} iters, {info['events']} events")
+    if args.scenario in ("serving", "all"):
+        log, info = run_serving_scenario(
+            net=_net_name(args), workers=args.workers,
+            requests=args.requests, swaps=args.swaps,
+            batch=args.batch, seed=args.seed, limit=args.limit)
+        sub = analyze_log(log, target="serving")
+        report.checked.extend(sub.checked)
+        report.extend(sub.diagnostics)
+        print(f"serving scenario: {info['workers']} workers, "
+              f"{info['requests']} requests, {info['swaps']} swaps, "
+              f"{info['events']} events")
     return _emit_report(report, args)
 
 
@@ -424,8 +483,22 @@ def main(argv=None) -> int:
                         "before aborting")
     p.set_defaults(fn=cmd_serve)
 
-    p = sub.add_parser("check", help="static analysis (plans + lint)")
+    p = sub.add_parser(
+        "check", help="program analysis (plans + lint + races)",
+        description="Exit codes: 0 clean, 1 findings at or above the "
+                    "--fail-on threshold, 2 usage or internal error.")
     csub = p.add_subparsers(dest="check_command", required=True)
+
+    def _add_check_output(cp):
+        cp.add_argument("--format", choices=("text", "json"),
+                        default="text")
+        cp.add_argument("--output", default=None,
+                        help="write the report here instead of stdout "
+                             "(errors still echo to stderr)")
+        cp.add_argument("--fail-on", choices=("warning", "error"),
+                        default="error", dest="fail_on",
+                        help="findings severity that flips the exit "
+                             "code to 1 (default: error)")
 
     cp = csub.add_parser("plan",
                          help="compile and verify plans across the "
@@ -442,10 +515,7 @@ def main(argv=None) -> int:
     cp.add_argument("--modes", default=None,
                     help="comma-separated execution modes "
                          "(default: train,infer)")
-    cp.add_argument("--format", choices=("text", "json"), default="text")
-    cp.add_argument("--output", default=None,
-                    help="write the report here instead of stdout "
-                         "(errors still echo to stderr)")
+    _add_check_output(cp)
     cp.set_defaults(fn=cmd_check_plan)
 
     cl = csub.add_parser("lint",
@@ -453,10 +523,37 @@ def main(argv=None) -> int:
     cl.add_argument("paths", nargs="*",
                     help="files/directories to lint (default: the "
                          "installed repro package)")
-    cl.add_argument("--format", choices=("text", "json"), default="text")
-    cl.add_argument("--output", default=None,
-                    help="write the report here instead of stdout")
+    _add_check_output(cl)
     cl.set_defaults(fn=cmd_check_lint)
+
+    cr = csub.add_parser(
+        "race",
+        help="happens-before race/deadlock detection over instrumented "
+             "stress scenarios")
+    cr.add_argument("--scenario", choices=("parallel", "serving", "all"),
+                    default="all")
+    cr.add_argument("--net", choices=sorted(NETWORK_BUILDERS),
+                    default="lenet",
+                    help="zoo network the scenarios run (small nets "
+                         "keep the event log dense in sync ops)")
+    cr.add_argument("--batch", type=int, default=8)
+    cr.add_argument("--sessions", type=int, default=4,
+                    help="parallel scenario: sessions per mode")
+    cr.add_argument("--iters", type=int, default=3,
+                    help="parallel scenario: iterations per session")
+    cr.add_argument("--workers", type=int, default=3,
+                    help="serving scenario: worker sessions")
+    cr.add_argument("--requests", type=int, default=60,
+                    help="serving scenario: trace length in requests")
+    cr.add_argument("--swaps", type=int, default=3,
+                    help="serving scenario: mid-trace weight hot-swaps")
+    cr.add_argument("--seed", type=int, default=0,
+                    help="serving scenario: arrival trace rng seed")
+    cr.add_argument("--limit", type=int, default=2_000_000,
+                    help="event-log capacity; overflow truncates the "
+                         "trace and reports RACE005 (warning)")
+    _add_check_output(cr)
+    cr.set_defaults(fn=cmd_check_race)
 
     p = sub.add_parser("policies", help="memory-policy stack per framework")
     p.add_argument("framework_name", nargs="?", default=None,

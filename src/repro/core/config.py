@@ -77,6 +77,11 @@ class RuntimeConfig:
     # the REPRO_VALIDATE_STATE environment variable (set by the test
     # suite and the CI stress/serving jobs); True/False override it.
     validate_state: Optional[bool] = None
+    # arm the synchronization trace (repro.check.instrument): every
+    # traced lock/condition/event/channel op and shared-state access is
+    # logged for the race detector.  None defers to REPRO_TRACE_SYNC
+    # (applied at import); True arms it when the engine is built.
+    trace_sync: Optional[bool] = None
     # per-step StepTrace records (Fig. 10).  Long training runs can
     # switch them off so result objects hold O(1) memory per iteration.
     collect_traces: bool = True

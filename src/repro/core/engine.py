@@ -58,7 +58,6 @@ therefore parallel-safe; custom providers must be too.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import (
     FIRST_EXCEPTION,
     ThreadPoolExecutor,
@@ -71,6 +70,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.check.instrument import (
+    TracedLock,
+    channel_recv,
+    channel_send,
+    resolve_arm,
+    trace_read,
+    trace_write,
+)
 from repro.core.config import RuntimeConfig
 from repro.core.liveness import LivenessAnalysis, LivenessPlan
 from repro.core.plan import GatheredPolicy, gather_policy_plans
@@ -178,9 +185,12 @@ class Engine:
         # sessions may be driven from user threads that trigger the
         # lazy compile concurrently; the lock keeps "one planning pass"
         # true under races instead of letting two threads plan twice
-        self._compile_lock = threading.Lock()
+        self._compile_lock = TracedLock("engine.compile")
         #: bumped by :meth:`install_params`; serving metrics report it
         self.weights_version = 0
+        # arm the synchronization trace when the config asks for it
+        # (None defers to the REPRO_TRACE_SYNC env, applied at import)
+        resolve_arm(self.config.trace_sync)
 
     # ------------------------------------------------------------- compiling
     def compiled(self, mode: str = "train") -> CompiledMode:
@@ -188,6 +198,7 @@ class Engine:
         if mode not in MODES:
             raise ValueError(f"unknown execution mode {mode!r}; "
                              f"expected one of {MODES}")
+        trace_read(self, f"engine.compiled[{mode}]")
         cm = self._compiled.get(mode)
         if cm is not None:  # fast path: no lock once compiled
             return cm
@@ -197,6 +208,7 @@ class Engine:
                 cm = self._compile_mode(mode)
                 if self.verify_plans:
                     self._verify_mode(mode, cm)
+                trace_write(self, f"engine.compiled[{mode}]")
                 self._compiled[mode] = cm
                 self.mode_compile_count += 1
         return cm
@@ -358,9 +370,24 @@ class Engine:
         pool = ThreadPoolExecutor(max_workers=len(sessions),
                                   thread_name_prefix="repro-session")
         deadline = None if timeout is None else monotonic() + timeout
-        futures = [pool.submit(s.run, iters,
-                               start_iteration=start_iteration)
-                   for s in sessions]
+
+        # pool threads are not TracedThreads, so the submit/collect
+        # hand-off records explicit channel edges: everything done here
+        # (compile cache, substrate construction) happens-before the
+        # worker's first step, and each worker's last step
+        # happens-before the result collection below
+        def _run_traced(s, token):
+            channel_recv(token, "parallel_run.submit")
+            try:
+                return s.run(iters, start_iteration=start_iteration)
+            finally:
+                channel_send(f"done:{token}", "parallel_run.done")
+
+        tokens = [f"parallel:{id(self)}:{i}" for i in range(len(sessions))]
+        futures = []
+        for s, token in zip(sessions, tokens):
+            channel_send(token, "parallel_run.submit")
+            futures.append(pool.submit(_run_traced, s, token))
         try:
             done, not_done = futures_wait(futures, timeout=timeout,
                                           return_when=FIRST_EXCEPTION)
@@ -382,6 +409,8 @@ class Engine:
                 raise FuturesTimeoutError(
                     f"{len(not_done)}/{len(futures)} sessions still "
                     f"running after {timeout}s")
+            for token in tokens:
+                channel_recv(f"done:{token}", "parallel_run.done")
             return [f.result() for f in futures]
         finally:
             hung = any(not f.done() for f in futures)
@@ -450,10 +479,12 @@ class Engine:
                     f"parameter {name!r} expects shape {p.shape}, "
                     f"got {arr.shape}")
             staged.append((layer, p, arr))
+        trace_write(self, "engine.params")
         for layer, p, arr in staged:
             layer.param_values[p.tensor_id] = arr
         # the caller quiesces sessions around the swap (see docstring);
         # the version bump is that documented barrier, not compile state
+        trace_write(self, "engine.weights_version")
         self.weights_version += 1  # repro-lint: allow LINT003 swap barrier
         return len(staged)
 

@@ -44,6 +44,7 @@ from __future__ import annotations
 import os
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
+from repro.check import instrument as _ins
 from repro.tensors.tensor import Placement, Tensor
 
 #: Environment switch consulted when ``SessionTensorState(validate=None)``:
@@ -111,6 +112,8 @@ class SessionTensorState:
             old = self._placement.get(t.tensor_id, Placement.UNALLOCATED)
             if old is not p and (old, p) not in ALLOWED_TRANSITIONS:
                 raise IllegalPlacementTransition(t, old, p)
+        if _ins.ACTIVE is not None:  # a foreign-thread write here IS a race
+            _ins.trace_write(self, "tensor_state.placement", t.name)
         self._placement[t.tensor_id] = p
 
     def on_gpu(self, t: Tensor) -> bool:
@@ -128,9 +131,13 @@ class SessionTensorState:
     def lock(self, t: Tensor) -> None:
         """Pin ``t`` for the duration of a kernel: the LRU cache must
         not evict it (paper Alg. 2, ``T.Lock``)."""
+        if _ins.ACTIVE is not None:
+            _ins.trace_write(self, "tensor_state.locked", t.name)
         self._locked.add(t.tensor_id)
 
     def unlock(self, t: Tensor) -> None:
+        if _ins.ACTIVE is not None:
+            _ins.trace_write(self, "tensor_state.locked", t.name)
         self._locked.discard(t.tensor_id)
 
     def locked(self, t: Tensor) -> bool:
@@ -145,6 +152,8 @@ class SessionTensorState:
         return t.tensor_id in self._host
 
     def set_host_resident(self, t: Tensor, resident: bool) -> None:
+        if _ins.ACTIVE is not None:
+            _ins.trace_write(self, "tensor_state.host", t.name)
         if resident:
             self._host.add(t.tensor_id)
         else:

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
+from repro.check.instrument import channel_recv, channel_send
 from repro.serve.queue import InferenceRequest, RequestQueue
 
 
@@ -277,7 +278,10 @@ class DynamicBatcher:
                     return None
                 if self._ready:
                     self._outstanding += 1
-                    return self._ready.pop(0)
+                    batch = self._ready.pop(0)
+                    channel_recv(f"batch:{id(self)}:{batch.batch_id}",
+                                 "batcher.pop")
+                    return batch
                 wait = None if deadline is None \
                     else deadline - self.clock()
                 if wait is not None and wait <= 0:
@@ -322,6 +326,10 @@ class DynamicBatcher:
         for plan in plans:
             self._ready.append(AssembledBatch(
                 self._next_batch_id, self.capacity, plan, now))
+            # the batch hand-off edge: the assembling thread's work
+            # happens-before the worker that pops this batch
+            channel_send(f"batch:{id(self)}:{self._next_batch_id}",
+                         "batcher.publish")
             self._next_batch_id += 1
         self.batches_assembled += len(plans)
         self._cond.notify_all()

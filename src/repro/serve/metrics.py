@@ -14,13 +14,13 @@ Latency decomposes the way the request actually spends it:
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from time import monotonic
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.check.instrument import TracedLock
 from repro.serve.batcher import AssembledBatch
 from repro.serve.queue import InferenceRequest
 
@@ -47,7 +47,7 @@ class ServerMetrics:
 
     def __init__(self, clock: Callable[[], float] = monotonic):
         self.clock = clock
-        self._lock = threading.Lock()
+        self._lock = TracedLock("serve.metrics")
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
         # requests

@@ -13,19 +13,26 @@ second lock or a polling loop.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from time import monotonic
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.check.instrument import (
+    TracedCondition,
+    TracedEvent,
+    TracedLock,
+    channel_recv,
+    channel_send,
+)
+
 
 class RequestFuture:
     """Minimal future: the caller's handle to one in-flight request."""
 
     def __init__(self) -> None:
-        self._event = threading.Event()
+        self._event = TracedEvent("future")
         self._result: Optional[np.ndarray] = None
         self._exception: Optional[BaseException] = None
 
@@ -76,7 +83,7 @@ class InferenceRequest:
         self.dispatch_time: Optional[float] = None   # first slice started
         self.complete_time: Optional[float] = None
         self.versions: set = set()
-        self._lock = threading.Lock()
+        self._lock = TracedLock("request")
         self._parts: List[Optional[np.ndarray]] = []
         self._remaining = 0
 
@@ -144,7 +151,7 @@ class RequestQueue:
         self.sample_shape = None if sample_shape is None \
             else tuple(int(d) for d in sample_shape)
         self.clock = clock
-        self.cond = threading.Condition()
+        self.cond = TracedCondition("serve.queue")
         self._items: deque = deque()
         self._next_id = 0
         self._closed = False
@@ -178,6 +185,9 @@ class RequestQueue:
             self._next_id += 1
             self._items.append(req)
             self.submitted += 1
+            # the queue hand-off edge: everything the submitter did
+            # happens-before the assembly round that takes this request
+            channel_send(f"req:{req.request_id}", "queue.put")
             self.cond.notify_all()
         return req
 
@@ -205,4 +215,6 @@ class RequestQueue:
         """Remove and return the whole backlog (an assembly round)."""
         items = list(self._items)
         self._items.clear()
+        for r in items:
+            channel_recv(f"req:{r.request_id}", "queue.take")
         return items

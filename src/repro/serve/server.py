@@ -23,12 +23,12 @@ requests still queued see the new.
 
 from __future__ import annotations
 
-import threading
 from time import monotonic
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.check.instrument import TracedLock, TracedThread, trace_read
 from repro.core.engine import Engine
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.metrics import ServerMetrics
@@ -66,8 +66,10 @@ class InferenceServer:
         self._threads: list = []
         self._started = False
         self._stopped = False
-        # serializes swappers; the batcher pause/drain is the barrier
-        self._swap_lock = threading.Lock()
+        # serializes swappers; the batcher pause/drain is the barrier.
+        # gate=True: holding it across wait_idle IS the design (RACE004
+        # exempts documented gates)
+        self._swap_lock = TracedLock("server.swap", gate=True)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "InferenceServer":
@@ -83,7 +85,7 @@ class InferenceServer:
             # many iterations and every result holds traces + the
             # output batch — retaining them would grow without limit
             session = self.engine.session(mode="infer").with_history(0)
-            thread = threading.Thread(
+            thread = TracedThread(
                 target=self._worker_loop, args=(session,),
                 name=f"repro-serve-{i}", daemon=True)
             self._sessions.append(session)
@@ -211,6 +213,8 @@ class InferenceServer:
             # read under the barrier's protection: a swap waits for this
             # batch's mark_done before installing, so the version cannot
             # change between here and the compute below
+            trace_read(self.engine, "engine.weights_version")
+            trace_read(self.engine, "engine.params")
             version = self.engine.weights_version
             try:
                 feed = batch.build_feed(input_shape) if concrete else None

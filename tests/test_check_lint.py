@@ -117,7 +117,7 @@ LOCKED_CLASS = """
 
     class Engineish:
         def __init__(self):
-            self._compile_lock = threading.Lock()
+            self._compile_lock = threading.Lock()  # repro-lint: allow LINT005 test fixture
             self.count = 0
 
         def bump(self):
@@ -180,6 +180,77 @@ def test_with_lock_passes():
         def grab(lock):
             with lock:
                 pass
+    """) == []
+
+
+# --------------------------------------------------------------------------- #
+# LINT005 raw-sync-primitive
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("prim,wrapper", [
+    ("Lock", "TracedLock"),
+    ("RLock", "TracedLock"),
+    ("Condition", "TracedCondition"),
+    ("Event", "TracedEvent"),
+    ("Thread", "TracedThread"),
+])
+def test_raw_primitive_flagged(prim, wrapper):
+    diags = _lint(f"""
+        import threading
+
+        lock = threading.{prim}()
+    """)
+    assert _rules(diags) == ["LINT005"]
+    assert wrapper in diags[0].message
+
+
+def test_raw_primitive_via_module_alias_flagged():
+    diags = _lint("""
+        import threading as th
+
+        ev = th.Event()
+    """)
+    assert _rules(diags) == ["LINT005"]
+
+
+def test_raw_primitive_via_from_import_flagged():
+    diags = _lint("""
+        from threading import Event
+
+        ev = Event()
+    """)
+    assert _rules(diags) == ["LINT005"]
+
+
+def test_bare_name_without_threading_import_passes():
+    # e.g. device/timeline.py's Event NamedTuple: a bare Event() call
+    # with no threading import in sight is not a sync primitive
+    assert _lint("""
+        class Event:
+            pass
+
+        ev = Event()
+    """) == []
+
+
+def test_raw_primitive_allowed_in_instrument_module():
+    assert _lint("lock = threading.Lock()",
+                 filename="instrument.py") == []
+
+
+def test_raw_primitive_pragma_with_reason_suppresses():
+    assert _lint(
+        "lock = threading.Lock()"
+        "  # repro-lint: allow LINT005 event-log internal lock\n"
+    ) == []
+
+
+def test_traced_wrappers_pass():
+    assert _lint("""
+        from repro.check.instrument import TracedCondition, TracedLock
+
+        lock = TracedLock("x")
+        cond = TracedCondition("y")
     """) == []
 
 

@@ -135,3 +135,61 @@ class TestCLI:
         assert main(["serve", "--net", "lenet", "--swaps", "-1"]) == 2
         assert main(["serve", "--net", "lenet",
                      "--max-request", "0"]) == 2
+
+
+class TestCheckExitCodes:
+    """The check sub-family's documented exit-code contract:
+    0 clean, 1 findings at the --fail-on threshold, 2 usage/internal."""
+
+    RACE_FAST = ["check", "race", "--scenario", "parallel",
+                 "--sessions", "2", "--iters", "1"]
+
+    def test_check_race_clean_exits_zero(self, capsys):
+        rc = main(self.RACE_FAST)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+
+    def test_check_race_truncation_warns_but_passes_by_default(
+            self, capsys):
+        rc = main(self.RACE_FAST + ["--limit", "200"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "RACE005" in out
+
+    def test_check_race_fail_on_warning_promotes_truncation(self, capsys):
+        rc = main(self.RACE_FAST + ["--limit", "200",
+                                    "--fail-on", "warning"])
+        assert rc == 1
+        assert "RACE005" in capsys.readouterr().out
+
+    def test_check_race_json_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "race_report.json"
+        rc = main(self.RACE_FAST + ["--format", "json",
+                                    "--output", str(out_path)])
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        assert data["tool"] == "race-detector"
+        assert data["ok"] is True
+        assert any(c.startswith("parallel") for c in data["checked"])
+        assert "->" in capsys.readouterr().out  # console stays actionable
+
+    def test_check_plan_unknown_config_is_usage_error(self, capsys):
+        rc = main(["check", "plan", "--net", "lenet",
+                   "--configs", "bogus"])
+        assert rc == 2
+        assert "unknown ladder config" in capsys.readouterr().err
+
+    def test_check_lint_internal_error_exits_two(self, capsys):
+        rc = main(["check", "lint", "does/not/exist.py"])
+        assert rc == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_check_lint_finding_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import threading\nlock = threading.Lock()\n")
+        rc = main(["check", "lint", str(bad)])
+        assert rc == 1
+        assert "LINT005" in capsys.readouterr().out
