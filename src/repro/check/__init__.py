@@ -1,6 +1,6 @@
 """repro.check — static & dynamic analysis for plans, source, and runs.
 
-Three pillars (see DESIGN.md "Static checks" and "Concurrency model"):
+Four pillars (see DESIGN.md "Static checks" and "Concurrency model"):
 
 * the **plan verifier** symbolically replays a compiled mode's frozen
   schedules and proves the memory-safety invariants (PLAN001-PLAN006)
@@ -11,15 +11,22 @@ Three pillars (see DESIGN.md "Static checks" and "Concurrency model"):
 * the **race detector** replays a vector-clock happens-before + lockset
   analysis over one instrumented execution's synchronization log
   (RACE001-RACE005), catching races and potential deadlocks that
-  bit-identity tests can miss by lucky scheduling.
+  bit-identity tests can miss by lucky scheduling;
+* the **cost model** replays the same symbolic schedule against the
+  device latency model, predicting iteration time, DMA traffic, and
+  peak memory, and flagging performance pathologies (PERF001-PERF006)
+  — with a policy advisor that recommends the cheapest ablation rung
+  fitting a memory budget.
 
 All report structured :class:`~repro.check.diagnostics.Diagnostic`
-findings with provenance and serialize to the JSON artifacts CI
-uploads.  Entry points: ``repro check plan`` / ``check lint`` /
-``check race`` on the CLI; ``Engine(..., verify=True)`` /
-``RuntimeConfig.verify_plans`` at compile time;
-``RuntimeConfig.trace_sync`` / ``REPRO_TRACE_SYNC=1`` to arm the
-synchronization trace.
+findings with provenance and serialize to one JSON artifact schema CI
+uploads (``diagnostics.SCHEMA_VERSION``).  Entry points: ``repro check
+plan`` / ``check lint`` / ``check race`` / ``check cost`` on the CLI;
+``Engine(..., verify=True)`` / ``RuntimeConfig.verify_plans`` and
+``Engine(..., cost_report=True)`` / ``RuntimeConfig.cost_report`` at
+compile time; ``RuntimeConfig.trace_sync`` / ``REPRO_TRACE_SYNC=1`` to
+arm the synchronization trace (capacity via ``trace_sync_cap`` /
+``REPRO_TRACE_SYNC_CAP``).
 
 Attribute resolution is lazy (PEP 562): ``repro.check.instrument`` is
 imported by core modules (engine, tensor_state) whose own import chain
@@ -39,8 +46,11 @@ _EXPORTS: Dict[str, str] = {
     "CheckReport": "diagnostics",
     "Diagnostic": "diagnostics",
     "LINT_RULES": "diagnostics",
+    "PERF_RULES": "diagnostics",
     "PLAN_RULES": "diagnostics",
     "RACE_RULES": "diagnostics",
+    "RULE_FAMILIES": "diagnostics",
+    "SCHEMA_VERSION": "diagnostics",
     # linter
     "lint_paths": "lint",
     "lint_source": "lint",
@@ -73,6 +83,18 @@ _EXPORTS: Dict[str, str] = {
     "analyze_log": "race_detector",
     "run_parallel_scenario": "scenarios",
     "run_serving_scenario": "scenarios",
+    # cost model + advisor
+    "CostPrediction": "cost_model",
+    "CostThresholds": "cost_model",
+    "analyze_prediction": "cost_model",
+    "cost_compiled_mode": "cost_model",
+    "cost_engine": "cost_model",
+    "predict_compiled_mode": "cost_model",
+    "serving_fill_check": "cost_model",
+    "Advice": "advisor",
+    "advise": "advisor",
+    "assess_ladder": "advisor",
+    "recommend": "advisor",
 }
 
 __all__ = sorted(_EXPORTS) + ["instrument"]

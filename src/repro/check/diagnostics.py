@@ -1,13 +1,23 @@
-"""Structured diagnostics shared by the plan verifier, the linter, and
-the race detector.
+"""Structured diagnostics shared by the four check pillars: the plan
+verifier, the linter, the race detector, and the cost model.
 
-Every violation either tool reports is a :class:`Diagnostic`: a stable
+Every violation any tool reports is a :class:`Diagnostic`: a stable
 rule id (``PLAN001``, ``LINT003``, ...), a short rule name, a severity,
 a human-readable message, and *provenance* — ``file:line`` for lint
 findings, ``net/mode`` plus ``step/op`` for plan findings — so a CI log
 line is actionable without re-running anything.  A :class:`CheckReport`
 aggregates them, renders the text form, and serializes to the JSON
-artifact the ``static-analysis`` CI job uploads.
+artifact the ``static-analysis`` CI matrix uploads.
+
+Every serialized report shares one schema (:data:`SCHEMA_VERSION`):
+``{"schema_version", "tool", "rules": {id: name}, "ok", "checked",
+"summary", "diagnostics", "metrics"}`` — CI consumers parse one format
+whichever of ``check plan|lint|race|cost`` produced it.  The ``rules``
+header carries the catalog of every rule the producing tool *could*
+have emitted (its rule family), so a consumer can distinguish "clean"
+from "never checked".  ``metrics`` is the numeric side-channel the cost
+model fills with per-target predictions; the other tools leave it
+empty.
 
 Rule ids are append-only: a retired rule keeps its number (the id is
 what suppression pragmas and CI greps key on).
@@ -55,7 +65,33 @@ RACE_RULES: Dict[str, str] = {
     "RACE005": "incomplete-trace",
 }
 
-ALL_RULES: Dict[str, str] = {**PLAN_RULES, **LINT_RULES, **RACE_RULES}
+#: Cost-model rules: performance pathologies predicted from the timed
+#: symbolic replay of a compiled schedule (see repro.check.cost_model).
+PERF_RULES: Dict[str, str] = {
+    "PERF001": "late-prefetch-stall",
+    "PERF002": "offload-without-payback",
+    "PERF003": "uneconomic-recompute",
+    "PERF004": "missed-overlap-window",
+    "PERF005": "over-memory-budget",
+    "PERF006": "serving-padding-waste",
+}
+
+ALL_RULES: Dict[str, str] = {**PLAN_RULES, **LINT_RULES, **RACE_RULES,
+                             **PERF_RULES}
+
+#: Artifact schema version, bumped whenever the JSON layout changes.
+#: v2 unified the four tools: shared top-level keys + the ``rules``
+#: catalog header + the ``metrics`` side-channel.
+SCHEMA_VERSION = 2
+
+#: Rule family per tool name — the catalog a report embeds so its JSON
+#: consumer knows the full rule space that was in force.
+RULE_FAMILIES: Dict[str, Dict[str, str]] = {
+    "plan-verifier": PLAN_RULES,
+    "lint": LINT_RULES,
+    "race-detector": RACE_RULES,
+    "cost-model": PERF_RULES,
+}
 
 
 @dataclass(frozen=True)
@@ -128,13 +164,40 @@ class Diagnostic:
 class CheckReport:
     """A tool run's findings plus the machinery CI consumes."""
 
-    tool: str                     # "plan-verifier" | "lint"
+    tool: str                     # a RULE_FAMILIES key, "+"-joined when merged
     diagnostics: List[Diagnostic] = field(default_factory=list)
     #: what was checked, for the empty-report case to still be meaningful
     checked: List[str] = field(default_factory=list)
+    #: numeric side-channel: per-target measurement/prediction summaries
+    #: (the cost model fills this; other tools leave it empty)
+    metrics: Dict[str, dict] = field(default_factory=dict)
 
     def extend(self, diags) -> None:
         self.diagnostics.extend(diags)
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        """Fold ``other`` into this report (diagnostics, checked
+        targets, metrics).  Distinct tools join as ``"a+b"`` and the
+        serialized rule catalog becomes the union of their families —
+        one artifact can carry a whole multi-tool sweep."""
+        parts = self.tool.split("+")
+        for p in other.tool.split("+"):
+            if p not in parts:
+                parts.append(p)
+        self.tool = "+".join(parts)
+        self.diagnostics.extend(other.diagnostics)
+        self.checked.extend(other.checked)
+        self.metrics.update(other.metrics)
+        return self
+
+    def rule_catalog(self) -> Dict[str, str]:
+        """Every rule id this report's tool(s) could have emitted."""
+        catalog: Dict[str, str] = {}
+        for part in self.tool.split("+"):
+            catalog.update(RULE_FAMILIES.get(part, {}))
+        for d in self.diagnostics:  # tools outside the known families
+            catalog.setdefault(d.rule, ALL_RULES[d.rule])
+        return catalog
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -160,12 +223,15 @@ class CheckReport:
 
     def to_dict(self) -> dict:
         return {
+            "schema_version": SCHEMA_VERSION,
             "tool": self.tool,
+            "rules": self.rule_catalog(),
             "ok": self.ok,
             "checked": list(self.checked),
             "summary": {"errors": len(self.errors),
                         "warnings": len(self.warnings)},
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "metrics": dict(self.metrics),
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -49,11 +49,35 @@ from typing import Dict, Iterator, List, NamedTuple, Optional
 #: Environment switch: "1"/"true"/"yes"/"on" arms tracing at import.
 TRACE_ENV = "REPRO_TRACE_SYNC"
 
+#: Environment override for the default event-log capacity (see
+#: :func:`default_limit`); ``RuntimeConfig.trace_sync_cap`` wins over it
+#: per engine.
+CAP_ENV = "REPRO_TRACE_SYNC_CAP"
+
 #: Default event-log capacity.  On overflow the log stops appending and
 #: sets :attr:`EventLog.truncated`; the detector reports RACE005
 #: (incomplete-trace, warning) so a silently-partial analysis is
 #: impossible.
 DEFAULT_LIMIT = 2_000_000
+
+
+def default_limit() -> int:
+    """The event-log capacity to use when none is given explicitly:
+    ``REPRO_TRACE_SYNC_CAP`` when set to a positive integer, else
+    :data:`DEFAULT_LIMIT`.  Read per call, so one process can re-resolve
+    after the environment changes (the tests do)."""
+    raw = os.environ.get(CAP_ENV, "").strip()
+    if raw:
+        try:
+            cap = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{CAP_ENV} must be a positive integer, got {raw!r}")
+        if cap < 1:
+            raise ValueError(
+                f"{CAP_ENV} must be a positive integer, got {raw!r}")
+        return cap
+    return DEFAULT_LIMIT
 
 
 class SyncEvent(NamedTuple):
@@ -91,7 +115,9 @@ class EventLog:
     synchronization order the detector replays.
     """
 
-    def __init__(self, limit: int = DEFAULT_LIMIT):
+    def __init__(self, limit: Optional[int] = None):
+        if limit is None:
+            limit = default_limit()
         if limit < 1:
             raise ValueError(f"event log limit must be >= 1, got {limit}")
         self._lock = threading.Lock()   # the one raw lock: LINT005 owner
@@ -172,18 +198,25 @@ def active_log() -> Optional[EventLog]:
     return ACTIVE
 
 
-def resolve_arm(flag: Optional[bool]) -> None:
+def resolve_arm(flag: Optional[bool], cap: Optional[int] = None) -> None:
     """Arm per a ``RuntimeConfig.trace_sync`` value: ``True`` arms,
     ``False``/``None`` leave the current state alone (``None`` defers
-    to the environment switch, which was applied at import)."""
+    to the environment switch, which was applied at import).  ``cap``
+    (``RuntimeConfig.trace_sync_cap``) sizes the log when arming — and
+    re-caps an already-armed log, since the knob's contract is "this
+    run's trace stops at N events" however arming happened."""
     if flag:
-        arm()
+        log = arm(EventLog(limit=cap) if ACTIVE is None and cap is not None
+                  else None)
+        if cap is not None:
+            log.limit = cap
 
 
 @contextmanager
-def capture(limit: int = DEFAULT_LIMIT) -> Iterator[EventLog]:
+def capture(limit: Optional[int] = None) -> Iterator[EventLog]:
     """Arm a fresh log for the enclosed block, then restore the
-    previous arming state — the scenario/test entry point."""
+    previous arming state — the scenario/test entry point.  ``limit``
+    of ``None`` resolves through :func:`default_limit`."""
     global ACTIVE
     prev = ACTIVE
     log = EventLog(limit=limit)

@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.check.instrument import DEFAULT_LIMIT, EventLog, capture
+from repro.check.instrument import EventLog, capture
 from repro.core.config import RuntimeConfig
 from repro.core.engine import compile as compile_engine
 from repro.serve.server import InferenceServer
@@ -43,7 +43,7 @@ def _build(net: str, batch: int):
 
 def run_parallel_scenario(net: str = "lenet", sessions: int = 4,
                           iters: int = 3, batch: int = 8,
-                          limit: int = DEFAULT_LIMIT,
+                          limit: Optional[int] = None,
                           ) -> Tuple[EventLog, Dict]:
     """Thread-per-session stress under instrumentation.
 
@@ -85,7 +85,7 @@ def run_serving_scenario(net: str = "lenet", workers: int = 3,
                          requests: int = 60, swaps: int = 3,
                          batch: int = 8, max_wait: float = 0.001,
                          rate: float = 2000.0, seed: int = 0,
-                         limit: int = DEFAULT_LIMIT,
+                         limit: Optional[int] = None,
                          ) -> Tuple[EventLog, Dict]:
     """Serving stress: Poisson-ish trace + swap storm, instrumented.
 

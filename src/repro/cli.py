@@ -14,12 +14,18 @@ Commands
               synthetic arrival trace (``--rate``, ``--duration``)
               into dynamic batches over ``--workers`` sessions.
 ``check``   — program analysis: ``check plan`` compiles nets across the
-              ablation ladder and verifies every schedule's memory-safety
+              ablation ladder (plus serve-shaped batch configs under
+              ``--all``) and verifies every schedule's memory-safety
               invariants (PLAN001-PLAN006); ``check lint`` runs the
               architecture linter (LINT001-LINT005) over ``src/repro``;
               ``check race`` drives the instrumented stress scenarios
-              through the happens-before race detector (RACE001-RACE005).
-              All support ``--format json`` for CI artifacts and
+              through the happens-before race detector (RACE001-RACE005);
+              ``check cost`` replays compiled schedules against the
+              device latency model, predicts per-iteration time and
+              peaks, and flags performance pathologies (PERF001-PERF006;
+              ``--budget N --advise`` additionally recommends the
+              cheapest ladder rung that fits N GiB).  All emit one JSON
+              schema via ``--format json`` for CI artifacts and support
               ``--fail-on {warning,error}``; exit codes are 0 (clean),
               1 (findings at or above the threshold), 2 (usage or
               internal error).
@@ -340,6 +346,25 @@ def cmd_check_lint(args) -> int:
     return _emit_report(report, args)
 
 
+def _parse_rungs(args):
+    """Validated ladder rungs from --configs (None on a bad name)."""
+    rungs = args.configs.split(",") if args.configs else list(ABLATION_LADDER)
+    for rung in rungs:
+        if rung not in ABLATION_LADDER:
+            print(f"unknown ladder config {rung!r}; expected one of "
+                  f"{', '.join(ABLATION_LADDER)}", file=sys.stderr)
+            return None
+    return rungs
+
+
+def _parse_serve_batches(args):
+    """Serve-shaped batch sizes to sweep: --serve-batches wins; --all
+    defaults to the shapes a serving deployment compiles engines at."""
+    if args.serve_batches is not None:
+        return [int(b) for b in args.serve_batches.split(",") if b.strip()]
+    return [1, 4, 16] if args.all else []
+
+
 @_check_cmd
 def cmd_check_plan(args) -> int:
     """Compile and statically verify plans across the ablation ladder."""
@@ -347,13 +372,11 @@ def cmd_check_plan(args) -> int:
     from repro.check import CheckReport, verify_compiled_mode
 
     nets = sorted(NETWORK_BUILDERS) if args.all else [_net_name(args)]
-    rungs = args.configs.split(",") if args.configs else list(ABLATION_LADDER)
+    rungs = _parse_rungs(args)
+    if rungs is None:
+        return 2
     modes = args.modes.split(",") if args.modes else ["train", "infer"]
-    for rung in rungs:
-        if rung not in ABLATION_LADDER:
-            print(f"unknown ladder config {rung!r}; expected one of "
-                  f"{', '.join(ABLATION_LADDER)}", file=sys.stderr)
-            return 2
+    serve_batches = _parse_serve_batches(args)
     report = CheckReport(tool="plan-verifier")
     for name in nets:
         for rung in rungs:
@@ -366,6 +389,19 @@ def cmd_check_plan(args) -> int:
                 report.extend(verify_compiled_mode(
                     engine.net, engine.compiled(mode),
                     engine.config.for_mode(mode), target=target))
+        # serve-shaped sweep: the infer plans a serving deployment would
+        # actually replay — DynamicBatcher pads/splits every request
+        # burst to the engine's compiled batch, so each serve batch size
+        # is its own compiled shape to prove safe
+        for b in serve_batches:
+            cfg = RuntimeConfig.superneurons(
+                concrete=False, gpu_capacity=int(args.gpu_gb * GiB))
+            engine = Engine(NETWORK_BUILDERS[name](batch=b), cfg)
+            target = f"{name}/serve@b{b}"
+            report.checked.append(target)
+            report.extend(verify_compiled_mode(
+                engine.net, engine.compiled("infer"),
+                engine.config.for_mode("infer"), target=target))
     return _emit_report(report, args)
 
 
@@ -397,6 +433,55 @@ def cmd_check_race(args) -> int:
         print(f"serving scenario: {info['workers']} workers, "
               f"{info['requests']} requests, {info['swaps']} swaps, "
               f"{info['events']} events")
+    return _emit_report(report, args)
+
+
+@_check_cmd
+def cmd_check_cost(args) -> int:
+    """Predict compiled schedules' cost; flag performance pathologies."""
+    from repro.core.config import RuntimeConfig
+    from repro.check import CheckReport
+    from repro.check.advisor import advise
+    from repro.check.cost_model import cost_compiled_mode, serving_fill_check
+
+    nets = sorted(NETWORK_BUILDERS) if args.all else [_net_name(args)]
+    rungs = _parse_rungs(args)
+    if rungs is None:
+        return 2
+    modes = args.modes.split(",") if args.modes else ["train", "infer"]
+    budget = int(args.budget * GiB) if args.budget is not None else None
+    capacity = int(args.gpu_gb * GiB)
+    max_request = args.max_request or 2 * args.batch
+    report = CheckReport(tool="cost-model")
+    for name in nets:
+        for rung in rungs:
+            cfg = getattr(RuntimeConfig, rung)(
+                concrete=False, gpu_capacity=capacity)
+            engine = Engine(NETWORK_BUILDERS[name](batch=args.batch), cfg)
+            for mode in modes:
+                target = f"{name}/{mode}@{rung}"
+                report.checked.append(target)
+                pred, diags = cost_compiled_mode(
+                    engine.net, engine.compiled(mode),
+                    engine.config.for_mode(mode), target=target,
+                    budget=budget)
+                report.extend(diags)
+                report.metrics[target] = pred.to_dict()
+        # the serving path pads every batch to the compiled shape:
+        # check the expected fill of this batch size (PERF006)
+        target = f"{name}/serve@b{args.batch}"
+        report.checked.append(target)
+        report.extend(serving_fill_check(args.batch, max_request,
+                                         target=target))
+        if args.advise:
+            adv = advise(
+                lambda name=name: NETWORK_BUILDERS[name](batch=args.batch),
+                name, budget=budget, modes=tuple(modes),
+                rungs=tuple(rungs),
+                rank_mode="train" if "train" in modes else modes[0],
+                gpu_capacity=capacity)
+            report.metrics[f"{name}/advice"] = adv.to_dict()
+            print(adv.render())
     return _emit_report(report, args)
 
 
@@ -484,7 +569,7 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
-        "check", help="program analysis (plans + lint + races)",
+        "check", help="program analysis (plans + lint + races + cost)",
         description="Exit codes: 0 clean, 1 findings at or above the "
                     "--fail-on threshold, 2 usage or internal error.")
     csub = p.add_subparsers(dest="check_command", required=True)
@@ -515,6 +600,10 @@ def main(argv=None) -> int:
     cp.add_argument("--modes", default=None,
                     help="comma-separated execution modes "
                          "(default: train,infer)")
+    cp.add_argument("--serve-batches", default=None,
+                    help="comma-separated serve-shaped batch sizes to "
+                         "verify as infer plans (default with --all: "
+                         "1,4,16; empty string disables)")
     _add_check_output(cp)
     cp.set_defaults(fn=cmd_check_plan)
 
@@ -549,11 +638,40 @@ def main(argv=None) -> int:
                     help="serving scenario: mid-trace weight hot-swaps")
     cr.add_argument("--seed", type=int, default=0,
                     help="serving scenario: arrival trace rng seed")
-    cr.add_argument("--limit", type=int, default=2_000_000,
+    cr.add_argument("--limit", type=int, default=None,
                     help="event-log capacity; overflow truncates the "
-                         "trace and reports RACE005 (warning)")
+                         "trace and reports RACE005 (warning); default "
+                         "honours REPRO_TRACE_SYNC_CAP (else 2000000)")
     _add_check_output(cr)
     cr.set_defaults(fn=cmd_check_race)
+
+    cc = csub.add_parser(
+        "cost",
+        help="static performance & memory cost model over compiled "
+             "schedules (PERF001-PERF006)")
+    cc.add_argument("--net", choices=sorted(NETWORK_BUILDERS), default=None)
+    cc.add_argument("--all", action="store_true",
+                    help="cost every zoo network")
+    cc.add_argument("--batch", type=int, default=8)
+    cc.add_argument("--gpu-gb", type=float, default=12.0,
+                    help="device DRAM capacity in GiB")
+    cc.add_argument("--configs", default=None,
+                    help="comma-separated ladder rungs "
+                         f"(default: {','.join(ABLATION_LADDER)})")
+    cc.add_argument("--modes", default=None,
+                    help="comma-separated execution modes "
+                         "(default: train,infer)")
+    cc.add_argument("--budget", type=float, default=None,
+                    help="memory budget in GiB; a predicted peak above "
+                         "it is a PERF005 error")
+    cc.add_argument("--advise", action="store_true",
+                    help="rank the ladder per net and recommend the "
+                         "fastest rung that fits --budget")
+    cc.add_argument("--max-request", type=int, default=None,
+                    help="largest serving request size for the PERF006 "
+                         "padding check (default 2x batch)")
+    _add_check_output(cc)
+    cc.set_defaults(fn=cmd_check_cost)
 
     p = sub.add_parser("policies", help="memory-policy stack per framework")
     p.add_argument("framework_name", nargs="?", default=None,

@@ -82,6 +82,14 @@ class RuntimeConfig:
     # logged for the race detector.  None defers to REPRO_TRACE_SYNC
     # (applied at import); True arms it when the engine is built.
     trace_sync: Optional[bool] = None
+    # event-log capacity when this config arms the synchronization
+    # trace.  None defers to REPRO_TRACE_SYNC_CAP (else the module
+    # default); overflow truncates the trace and reports RACE005.
+    trace_sync_cap: Optional[int] = None
+    # build a static cost-model report (repro.check.cost_model) for
+    # every compiled mode and stash it on Engine.cost_reports — purely
+    # advisory (never raises), the runtime analogue of verify_plans
+    cost_report: bool = False
     # per-step StepTrace records (Fig. 10).  Long training runs can
     # switch them off so result objects hold O(1) memory per iteration.
     collect_traces: bool = True
