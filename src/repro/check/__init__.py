@@ -90,6 +90,9 @@ _EXPORTS: Dict[str, str] = {
     "cost_compiled_mode": "cost_model",
     "cost_engine": "cost_model",
     "predict_compiled_mode": "cost_model",
+    "request_fill": "cost_model",
+    "request_padding_rows": "cost_model",
+    "request_steps": "cost_model",
     "serving_fill_check": "cost_model",
     "Advice": "advisor",
     "advise": "advisor",

@@ -870,6 +870,27 @@ def analyze_prediction(pred: CostPrediction,
     return diags
 
 
+def request_steps(batch: int, size: int) -> int:
+    """Engine steps a ``size``-row request costs on a compiled ``batch``
+    shape (the greedy-fill split: ``ceil(size / batch)``)."""
+    if batch < 1 or size < 1:
+        raise ValueError("request_steps needs batch >= 1 and size >= 1")
+    return -(-size // batch)
+
+
+def request_padding_rows(batch: int, size: int) -> int:
+    """Padded rows a lone ``size``-row request wastes on a compiled
+    ``batch`` shape — the per-request form of the PERF006 fill model,
+    reused online by the fleet router to score candidate engines."""
+    return request_steps(batch, size) * batch - size
+
+
+def request_fill(batch: int, size: int) -> float:
+    """Fill ratio of a lone ``size``-row request on a compiled ``batch``
+    shape (1.0 means zero padding waste)."""
+    return size / (request_steps(batch, size) * batch)
+
+
 def serving_fill_check(batch: int, max_request: int,
                        target: Optional[str] = None,
                        thresholds: Optional[CostThresholds] = None

@@ -210,6 +210,105 @@ def cmd_infer(args) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args) -> int:
+    """Heterogeneous fleet serving: N batch shapes, SLO-aware routing."""
+    import numpy as np
+
+    from repro.serve import RequestRejected, ServingFleet
+
+    try:
+        batches = [int(b) for b in args.fleet_batches.split(",") if b]
+    except ValueError:
+        batches = []
+    if not batches or any(b < 1 for b in batches):
+        print("--fleet-batches needs a comma list of sizes >= 1",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.critical_frac <= 1.0:
+        print("--critical-frac must be in [0, 1]", file=sys.stderr)
+        return 2
+    name = _net_name(args)
+    cfg = framework_config(args.framework, concrete=args.concrete,
+                           gpu_capacity=int(args.gpu_gb * GiB))
+    engines = [Engine(NETWORK_BUILDERS[name](batch=b), cfg)
+               for b in batches]
+    max_request = args.max_request or max(batches)
+    sample_shape = engines[0].input_shape[1:]
+
+    rng = np.random.default_rng(args.seed)
+    arrivals = []
+    t = 0.0
+    while t < args.duration:
+        arrivals.append((t, int(rng.integers(1, max_request + 1)),
+                         rng.random() < args.critical_frac))
+        t += rng.exponential(1.0 / args.rate)
+
+    fleet = ServingFleet(engines, workers=args.workers,
+                         max_workers=args.max_workers,
+                         max_pending_rows=args.max_pending_rows,
+                         policy=args.policy, max_wait=args.max_wait)
+    shed = 0
+    with fleet:
+        t0 = time.perf_counter()
+        for at, size, critical in arrivals:
+            delay = at - (time.perf_counter() - t0)
+            if delay > 0:
+                time.sleep(delay)
+            priority = "critical" if critical else "normal"
+            deadline = time.monotonic() + 0.05 if critical else None
+            try:
+                if args.concrete:
+                    data = rng.standard_normal(
+                        (size,) + sample_shape).astype(np.float32)
+                    fleet.submit(data=data, priority=priority,
+                                 deadline=deadline)
+                else:
+                    fleet.submit(size=size, priority=priority,
+                                 deadline=deadline)
+            except RequestRejected:
+                shed += 1     # explicit backpressure, not a failure
+        if not fleet.drain(timeout=args.timeout):
+            print(f"backlog not drained after {args.timeout:g}s; "
+                  "aborting", file=sys.stderr)
+            os._exit(1)
+    m = fleet.metrics.to_dict()
+    fl = m["fleet"]
+    req = fl["requests"]
+    offered = req["completed"] + req["failed"] + req["shed"]
+    print(f"network      : {name} x {len(batches)} engines "
+          f"(batches {','.join(str(b) for b in batches)}, "
+          f"{'concrete' if args.concrete else 'simulated'})")
+    print(f"fleet        : {fleet.describe()}")
+    print(f"trace        : {len(arrivals)} requests over "
+          f"{args.duration:g}s at ~{args.rate:g} req/s "
+          f"(sizes 1..{max_request}, "
+          f"{args.critical_frac:.0%} critical, seed {args.seed})")
+    print(f"requests     : {req['completed']} completed, "
+          f"{req['failed']} failed, {req['shed']} shed "
+          f"(rate {req['shed_rate']:.1%}) — offered {offered}")
+    print(f"latency      : p50 {req['latency_ms']['p50']:.2f} ms, "
+          f"p95 {req['latency_ms']['p95']:.2f} ms, "
+          f"p99 {req['latency_ms']['p99']:.2f} ms")
+    for cls, c in fl["classes"].items():
+        if c["completed"] or c["failed"] or c["shed"]:
+            print(f"  {cls:<10} : {c['completed']} done, "
+                  f"p95 {c['latency_ms']['p95']:.2f} ms, "
+                  f"p99 {c['latency_ms']['p99']:.2f} ms, "
+                  f"{c['shed']} shed")
+    print(f"fill         : {fl['fill_ratio']:.1%} fleet-wide")
+    for lane, eng in m["engines"].items():
+        er, eb = eng["requests"], eng["batches"]
+        print(f"  {lane:<12} : {fl['routed'][lane]} routed, "
+              f"{er['completed']} done, fill {eb['fill_ratio']:.1%}, "
+              f"p95 {er['latency_ms']['p95']:.2f} ms")
+    assert req["shed"] == shed, (req["shed"], shed)
+    if req["completed"] + req["failed"] + req["shed"] != len(arrivals):
+        print(f"accounting broken: {req['completed']} + {req['failed']} "
+              f"+ {req['shed']} != {len(arrivals)}", file=sys.stderr)
+        return 1
+    return 1 if req["failed"] else 0
+
+
 def cmd_serve(args) -> int:
     """Dynamic-batching serving from a synthetic arrival trace."""
     import numpy as np
@@ -222,6 +321,8 @@ def cmd_serve(args) -> int:
         print("serve needs --rate > 0, --duration > 0, --workers >= 1, "
               "--swaps >= 0, --max-request >= 1", file=sys.stderr)
         return 2
+    if args.fleet:
+        return _cmd_serve_fleet(args)
     name = _net_name(args)
     net = NETWORK_BUILDERS[name](batch=args.batch)
     cfg = framework_config(args.framework, concrete=args.concrete,
@@ -566,6 +667,23 @@ def main(argv=None) -> int:
     p.add_argument("--timeout", type=float, default=600.0,
                    help="seconds to wait for the backlog to drain "
                         "before aborting")
+    p.add_argument("--fleet", action="store_true",
+                   help="serve over a heterogeneous fleet (one engine "
+                        "per --fleet-batches shape) with SLO-aware "
+                        "routing instead of one server")
+    p.add_argument("--fleet-batches", default="4,8,16",
+                   help="comma list of compiled batch shapes, one "
+                        "engine each (--fleet mode)")
+    p.add_argument("--max-pending-rows", type=int, default=None,
+                   help="bounded admission per lane: shed past this "
+                        "many pending sample rows (--fleet mode)")
+    p.add_argument("--max-workers", type=int, default=None,
+                   help="autoscale ceiling per lane (default: "
+                        "--workers, autoscaling off; --fleet mode)")
+    p.add_argument("--critical-frac", type=float, default=0.1,
+                   help="fraction of trace requests tagged "
+                        "priority=critical with a deadline "
+                        "(--fleet mode)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

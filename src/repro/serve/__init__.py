@@ -6,21 +6,31 @@ cheap infer sessions; this package turns that into a server for
 variable-sized request traffic:
 
 * :mod:`repro.serve.queue` — a thread-safe :class:`RequestQueue` of
-  inference requests (1..K samples each, with id, enqueue timestamp and
-  a :class:`RequestFuture` handle);
+  inference requests (1..K samples each, with id, priority class,
+  optional deadline, enqueue timestamp and a :class:`RequestFuture`
+  handle); :class:`BoundedRequestQueue` caps pending rows and sheds
+  with an explicit :class:`RequestRejected`;
 * :mod:`repro.serve.batcher` — a :class:`DynamicBatcher` that coalesces
   queued requests into the engine's *compiled* batch shape, padding
   short batches and splitting oversized requests across steps, under a
-  pluggable coalescing policy (``fifo``, ``greedy-fill``) mirroring the
-  registry pattern of :mod:`repro.core.policy`;
+  pluggable coalescing policy (``fifo``, ``greedy-fill``, ``deadline``)
+  mirroring the registry pattern of :mod:`repro.core.policy`;
 * :mod:`repro.serve.server` — an :class:`InferenceServer` owning one
   engine and N worker sessions (thread-per-session, the
   ``engine.parallel_run`` drive), returning per-request futures, with
   :meth:`InferenceServer.swap_weights` installing updated weights at a
-  step barrier (in-flight requests finish on the old weights);
-* :mod:`repro.serve.metrics` — per-request latency, batch fill ratio,
-  padding waste and throughput, exported via ``to_dict`` like
-  :class:`~repro.core.runtime.IterationResult`.
+  step barrier (in-flight requests finish on the old weights) and
+  queue-depth-driven worker autoscaling between a floor and ceiling;
+* :mod:`repro.serve.router` / :mod:`repro.serve.fleet` — the
+  heterogeneous fleet: N engine lanes (different nets and/or batch
+  shapes) behind one :class:`ServingFleet` front door whose
+  :class:`Router` orders lanes per request by predicted padding waste
+  (the cost model's PERF006 fill model, online) plus queue depth;
+* :mod:`repro.serve.metrics` — per-request latency (p50/p95/p99),
+  per-priority-class SLOs, batch fill ratio, padding waste, shed rate
+  and throughput, exported via ``to_dict`` like
+  :class:`~repro.core.runtime.IterationResult`, with
+  :class:`FleetMetrics` rolling N engines up into one report.
 """
 
 from repro.serve.batcher import (
@@ -31,20 +41,35 @@ from repro.serve.batcher import (
     DynamicBatcher,
     register_coalescer,
 )
-from repro.serve.metrics import ServerMetrics
-from repro.serve.queue import InferenceRequest, RequestFuture, RequestQueue
+from repro.serve.fleet import ServingFleet
+from repro.serve.metrics import FleetMetrics, ServerMetrics
+from repro.serve.queue import (
+    PRIORITIES,
+    BoundedRequestQueue,
+    InferenceRequest,
+    RequestFuture,
+    RequestQueue,
+    RequestRejected,
+)
+from repro.serve.router import Router
 from repro.serve.server import InferenceServer
 
 __all__ = [
     "AssembledBatch",
     "BatchSlice",
+    "BoundedRequestQueue",
     "CoalescePolicy",
     "COALESCER_REGISTRY",
     "DynamicBatcher",
+    "FleetMetrics",
     "InferenceRequest",
     "InferenceServer",
+    "PRIORITIES",
     "RequestFuture",
     "RequestQueue",
+    "RequestRejected",
+    "Router",
     "ServerMetrics",
+    "ServingFleet",
     "register_coalescer",
 ]

@@ -15,9 +15,12 @@ The :class:`DynamicBatcher` bridges the two:
   ``max_wait`` seconds after it arrived, so light traffic is never
   starved waiting for a full batch;
 * **coalescing policy** — *which* pending requests ride one step is a
-  registered :class:`CoalescePolicy` (``fifo``, ``greedy-fill``),
-  mirroring the registry pattern of :mod:`repro.core.policy`: a new
-  strategy is a new class plus a :func:`register_coalescer` line.
+  registered :class:`CoalescePolicy` (``fifo``, ``greedy-fill``,
+  ``deadline``), mirroring the registry pattern of
+  :mod:`repro.core.policy`: a new strategy is a new class plus a
+  :func:`register_coalescer` line.  The ``deadline`` policy reorders
+  the round by (priority class, deadline, arrival) before packing, so
+  deadline-critical requests get first claim on assembly rounds.
 
 Assembly is atomic per request: every slice of a split request enters
 the ready queue in the same assembly round.  The weight-swap barrier of
@@ -34,7 +37,11 @@ from typing import Callable, Dict, List, Optional, Tuple, Type
 import numpy as np
 
 from repro.check.instrument import channel_recv, channel_send
-from repro.serve.queue import InferenceRequest, RequestQueue
+from repro.serve.queue import (
+    PRIORITY_RANK,
+    InferenceRequest,
+    RequestQueue,
+)
 
 
 class BatchSlice:
@@ -193,6 +200,34 @@ class FifoCoalescer(CoalescePolicy):
         return [b for b in batches if b]
 
 
+def _pack_split_fill(pending: List[InferenceRequest], capacity: int
+                     ) -> List[List[BatchSlice]]:
+    """Pack ``pending`` in the given order, splitting requests freely
+    across batch boundaries so every batch except the last is filled
+    exactly (the greedy-fill packing, shared by every policy that only
+    differs in how it *orders* the round)."""
+    batches: List[List[BatchSlice]] = []
+    current: List[BatchSlice] = []
+    used = 0
+    parts: Dict[int, int] = {}
+    for req in pending:
+        start = 0
+        while start < req.size:
+            take = min(req.size - start, capacity - used)
+            part = parts.get(req.request_id, 0)
+            current.append(
+                BatchSlice(req, start, start + take, used, part))
+            parts[req.request_id] = part + 1
+            start += take
+            used += take
+            if used == capacity:
+                batches.append(current)
+                current, used = [], 0
+    if current:
+        batches.append(current)
+    return batches
+
+
 @register_coalescer
 class GreedyFillCoalescer(CoalescePolicy):
     """Arrival order, but requests split freely across batch boundaries
@@ -204,26 +239,34 @@ class GreedyFillCoalescer(CoalescePolicy):
 
     def plan(self, pending: List[InferenceRequest], capacity: int
              ) -> List[List[BatchSlice]]:
-        batches: List[List[BatchSlice]] = []
-        current: List[BatchSlice] = []
-        used = 0
-        parts: Dict[int, int] = {}
-        for req in pending:
-            start = 0
-            while start < req.size:
-                take = min(req.size - start, capacity - used)
-                part = parts.get(req.request_id, 0)
-                current.append(
-                    BatchSlice(req, start, start + take, used, part))
-                parts[req.request_id] = part + 1
-                start += take
-                used += take
-                if used == capacity:
-                    batches.append(current)
-                    current, used = [], 0
-        if current:
-            batches.append(current)
-        return batches
+        return _pack_split_fill(pending, capacity)
+
+
+@register_coalescer
+class DeadlineCoalescer(CoalescePolicy):
+    """Priority/deadline order with greedy-fill packing.
+
+    The round is sorted by (priority class, deadline, arrival) before
+    packing: ``critical`` requests ride the earliest batches of every
+    assembly round, ties break on the tighter deadline (requests
+    without one sort after every dated peer of their class), then on
+    enqueue time and finally request id for determinism.  Packing
+    itself is the same exact-fill split as ``greedy-fill``, so urgency
+    never costs padding waste.
+    """
+
+    key = "deadline"
+
+    def plan(self, pending: List[InferenceRequest], capacity: int
+             ) -> List[List[BatchSlice]]:
+        normal = PRIORITY_RANK["normal"]
+        ordered = sorted(pending, key=lambda r: (
+            PRIORITY_RANK.get(r.priority, normal),
+            r.deadline if r.deadline is not None else float("inf"),
+            r.enqueue_time,
+            r.request_id,
+        ))
+        return _pack_split_fill(ordered, capacity)
 
 
 # ---------------------------------------------------------------- batcher
@@ -380,6 +423,13 @@ class DynamicBatcher:
         with self._cond:
             self._shutdown = True
             self._cond.notify_all()
+
+    @property
+    def stopping(self) -> bool:
+        """True once :meth:`shutdown` ran — lets a worker whose
+        ``next_batch`` returned ``None`` tell shutdown apart from an
+        idle timeout (the autoscaler retires on the latter only)."""
+        return self._shutdown
 
     def drain_ready(self) -> List[AssembledBatch]:
         """Remove and return batches that will never run (post-shutdown

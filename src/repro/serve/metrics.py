@@ -1,4 +1,4 @@
-"""Serving metrics: latency, fill, padding waste, throughput.
+"""Serving metrics: latency, fill, padding waste, throughput, SLOs.
 
 Collected under one lock from every worker thread and exported via
 ``to_dict`` exactly like :class:`~repro.core.runtime.IterationResult`
@@ -10,19 +10,27 @@ Latency decomposes the way the request actually spends it:
   (what the batcher's ``max_wait`` bounds for a lone request);
 * **compute** — first slice start until the last slice's outputs are
   delivered (for a split request this spans several engine steps).
+
+Failed requests get their own ``failed_ms`` distribution (enqueue →
+fail) — they never pollute the success percentiles, and an error storm
+cannot silently *flatter* p95 by vanishing from every window either.
+Each request's latency is also bucketed by its priority class, so the
+SLO report reads per-class p50/p95/p99.  :class:`FleetMetrics` rolls N
+per-engine :class:`ServerMetrics` up into one fleet-wide report
+(routing counts, shed rate, merged percentiles).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from time import monotonic
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.check.instrument import TracedLock
+from repro.check.instrument import TracedLock, trace_read, trace_write
 from repro.serve.batcher import AssembledBatch
-from repro.serve.queue import InferenceRequest
+from repro.serve.queue import PRIORITIES, InferenceRequest
 
 #: latency samples kept per distribution — a rolling window, so a
 #: server left up for days holds O(1) memory and the percentiles
@@ -32,12 +40,14 @@ LATENCY_WINDOW = 65536
 
 def _stats_ms(samples) -> Dict[str, float]:
     if not samples:
-        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                "max": 0.0}
     arr = np.asarray(samples) * 1e3
     return {
         "mean": float(arr.mean()),
         "p50": float(np.percentile(arr, 50)),
         "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
         "max": float(arr.max()),
     }
 
@@ -53,10 +63,20 @@ class ServerMetrics:
         # requests
         self.completed = 0
         self.failed = 0
+        self.shed = 0
         self.samples = 0
+        self.shed_samples = 0
         self._queue_lat: deque = deque(maxlen=LATENCY_WINDOW)
         self._compute_lat: deque = deque(maxlen=LATENCY_WINDOW)
         self._total_lat: deque = deque(maxlen=LATENCY_WINDOW)
+        self._failed_lat: deque = deque(maxlen=LATENCY_WINDOW)
+        # per priority class: completed/failed/shed counts + latencies
+        self._class_completed: Dict[str, int] = \
+            {c: 0 for c in PRIORITIES}
+        self._class_failed: Dict[str, int] = {c: 0 for c in PRIORITIES}
+        self._class_shed: Dict[str, int] = {c: 0 for c in PRIORITIES}
+        self._class_lat: Dict[str, deque] = \
+            {c: deque(maxlen=LATENCY_WINDOW) for c in PRIORITIES}
         # batches
         self.batches = 0
         self.rows = 0
@@ -79,6 +99,7 @@ class ServerMetrics:
     def record_batch(self, batch: AssembledBatch,
                      compute_seconds: float) -> None:
         with self._lock:
+            trace_write(self, "serve.metrics.counters")
             self.batches += 1
             self.rows += batch.fill
             self.padded_rows += batch.padding
@@ -88,8 +109,10 @@ class ServerMetrics:
 
     def record_request(self, req: InferenceRequest) -> None:
         with self._lock:
+            trace_write(self, "serve.metrics.counters")
             self.completed += 1
             self.samples += req.size
+            self._class_completed[req.priority] += 1
             if req.dispatch_time is not None:
                 self._queue_lat.append(
                     req.dispatch_time - req.enqueue_time)
@@ -97,58 +120,126 @@ class ServerMetrics:
                     self._compute_lat.append(
                         req.complete_time - req.dispatch_time)
             if req.complete_time is not None:
-                self._total_lat.append(
-                    req.complete_time - req.enqueue_time)
+                total = req.complete_time - req.enqueue_time
+                self._total_lat.append(total)
+                self._class_lat[req.priority].append(total)
 
     def record_failure(self, req: InferenceRequest) -> None:
         with self._lock:
+            trace_write(self, "serve.metrics.counters")
             self.failed += 1
+            self._class_failed[req.priority] += 1
+            if req.complete_time is not None:
+                self._failed_lat.append(
+                    req.complete_time - req.enqueue_time)
+
+    def record_shed(self, samples: int, priority: str = "normal") -> None:
+        """A request of ``samples`` rows was rejected at admission."""
+        with self._lock:
+            trace_write(self, "serve.metrics.counters")
+            self.shed += 1
+            self.shed_samples += samples
+            if priority in self._class_shed:
+                self._class_shed[priority] += 1
 
     def note_swap(self, version: int) -> None:
         with self._lock:
+            trace_write(self, "serve.metrics.counters")
             self.swaps += 1
             self.weights_version = version
 
     # -- export -----------------------------------------------------------
-    @property
-    def elapsed(self) -> float:
+    def _elapsed_unlocked(self) -> float:
         if self._started_at is None:
             return 0.0
         end = self._stopped_at if self._stopped_at is not None \
             else self.clock()
         return max(end - self._started_at, 0.0)
 
-    @property
-    def fill_ratio(self) -> float:
+    def _fill_ratio_unlocked(self) -> float:
         total = self.rows + self.padded_rows
         return self.rows / total if total else 0.0
+
+    @property
+    def elapsed(self) -> float:
+        # under _lock: a monitor thread must never see a half-written
+        # start/stop pair mid-note (and the race checker must see the
+        # read).  TracedLock is not reentrant, so to_dict — which
+        # already holds the lock — uses the _unlocked internals.
+        with self._lock:
+            trace_read(self, "serve.metrics.counters")
+            return self._elapsed_unlocked()
+
+    @property
+    def fill_ratio(self) -> float:
+        with self._lock:
+            trace_read(self, "serve.metrics.counters")
+            return self._fill_ratio_unlocked()
 
     def p95_latency(self) -> float:
         """Seconds; 0 when nothing completed yet."""
         with self._lock:
+            trace_read(self, "serve.metrics.counters")
             if not self._total_lat:
                 return 0.0
             return float(np.percentile(np.asarray(self._total_lat), 95))
+
+    def counts(self) -> tuple:
+        """One consistent ``(completed, failed, shed)`` snapshot."""
+        with self._lock:
+            trace_read(self, "serve.metrics.counters")
+            return self.completed, self.failed, self.shed
+
+    def latency_snapshot(self) -> Dict[str, list]:
+        """Copies of the raw latency windows (seconds) — what
+        :class:`FleetMetrics` merges across engines so fleet-wide
+        percentiles come from samples, not averaged percentiles."""
+        with self._lock:
+            trace_read(self, "serve.metrics.counters")
+            return {
+                "total": list(self._total_lat),
+                "queue": list(self._queue_lat),
+                "compute": list(self._compute_lat),
+                "failed": list(self._failed_lat),
+                "classes": {c: list(d)
+                            for c, d in self._class_lat.items()},
+            }
 
     def to_dict(self) -> dict:
         """JSON-serializable summary (the ``IterationResult.to_dict``
         contract: one flat dict the CLI/benchmarks print or gate on)."""
         with self._lock:
-            elapsed = self.elapsed
+            trace_read(self, "serve.metrics.counters")
+            elapsed = self._elapsed_unlocked()
+            offered = self.completed + self.failed + self.shed
             return {
                 "requests": {
                     "completed": self.completed,
                     "failed": self.failed,
+                    "shed": self.shed,
                     "samples": self.samples,
+                    "shed_samples": self.shed_samples,
+                    "shed_rate":
+                        self.shed / offered if offered else 0.0,
                     "latency_ms": _stats_ms(self._total_lat),
                     "queue_ms": _stats_ms(self._queue_lat),
                     "compute_ms": _stats_ms(self._compute_lat),
+                    "failed_ms": _stats_ms(self._failed_lat),
+                },
+                "classes": {
+                    c: {
+                        "completed": self._class_completed[c],
+                        "failed": self._class_failed[c],
+                        "shed": self._class_shed[c],
+                        "latency_ms": _stats_ms(self._class_lat[c]),
+                    }
+                    for c in PRIORITIES
                 },
                 "batches": {
                     "count": self.batches,
                     "rows": self.rows,
                     "padded_rows": self.padded_rows,
-                    "fill_ratio": self.fill_ratio,
+                    "fill_ratio": self._fill_ratio_unlocked(),
                     "split_slices": self.split_slices,
                     "compute_seconds": self._compute_seconds,
                 },
@@ -164,3 +255,112 @@ class ServerMetrics:
                     "weights_version": self.weights_version,
                 },
             }
+
+
+class FleetMetrics:
+    """Fleet-wide SLO rollup over N per-engine :class:`ServerMetrics`.
+
+    The fleet owns only routing and shed counters; every per-request
+    number lives in the engine the request ran on.  ``to_dict`` merges
+    the engines' raw latency windows (via ``latency_snapshot``) so the
+    fleet percentiles are computed over samples — averaging per-engine
+    percentiles would be wrong.  Lock order is fleet → engine, and the
+    engine snapshots are taken *outside* the fleet lock, so the two
+    levels never nest.
+    """
+
+    def __init__(self, engines: Dict[str, ServerMetrics]):
+        self._engines = dict(engines)
+        self._lock = TracedLock("serve.fleet.metrics")
+        self.routed: Dict[str, int] = {n: 0 for n in self._engines}
+        self.shed = 0
+        self.shed_samples = 0
+        self._class_shed: Dict[str, int] = {c: 0 for c in PRIORITIES}
+
+    @property
+    def engine_names(self) -> List[str]:
+        return list(self._engines)
+
+    def engine(self, name: str) -> ServerMetrics:
+        return self._engines[name]
+
+    # -- recording --------------------------------------------------------
+    def record_routed(self, name: str) -> None:
+        with self._lock:
+            trace_write(self, "serve.fleet.counters")
+            self.routed[name] += 1
+
+    def record_shed(self, samples: int, priority: str = "normal") -> None:
+        """Every lane rejected this request: a fleet-level shed."""
+        with self._lock:
+            trace_write(self, "serve.fleet.counters")
+            self.shed += 1
+            self.shed_samples += samples
+            if priority in self._class_shed:
+                self._class_shed[priority] += 1
+
+    # -- export -----------------------------------------------------------
+    def counts(self) -> tuple:
+        """Fleet ``(completed, failed, shed)``: engine sums + fleet
+        sheds (a fleet shed means *no* engine ever saw the request)."""
+        completed = failed = 0
+        for m in self._engines.values():
+            c, f, _ = m.counts()
+            completed += c
+            failed += f
+        with self._lock:
+            trace_read(self, "serve.fleet.counters")
+            return completed, failed, self.shed
+
+    def to_dict(self) -> dict:
+        engines = {n: m.to_dict() for n, m in self._engines.items()}
+        snaps = [m.latency_snapshot() for m in self._engines.values()]
+        with self._lock:
+            trace_read(self, "serve.fleet.counters")
+            routed = dict(self.routed)
+            shed = self.shed
+            shed_samples = self.shed_samples
+            class_shed = dict(self._class_shed)
+        completed = sum(e["requests"]["completed"]
+                        for e in engines.values())
+        failed = sum(e["requests"]["failed"] for e in engines.values())
+        samples = sum(e["requests"]["samples"]
+                      for e in engines.values())
+        rows = sum(e["batches"]["rows"] for e in engines.values())
+        padded = sum(e["batches"]["padded_rows"]
+                     for e in engines.values())
+        offered = completed + failed + shed
+        merged = {k: [x for s in snaps for x in s[k]]
+                  for k in ("total", "queue", "compute", "failed")}
+        classes = {}
+        for c in PRIORITIES:
+            classes[c] = {
+                "completed": sum(e["classes"][c]["completed"]
+                                 for e in engines.values()),
+                "failed": sum(e["classes"][c]["failed"]
+                              for e in engines.values()),
+                "shed": class_shed[c],
+                "latency_ms": _stats_ms(
+                    [x for s in snaps for x in s["classes"][c]]),
+            }
+        return {
+            "engines": engines,
+            "fleet": {
+                "requests": {
+                    "completed": completed,
+                    "failed": failed,
+                    "shed": shed,
+                    "samples": samples,
+                    "shed_samples": shed_samples,
+                    "shed_rate": shed / offered if offered else 0.0,
+                    "latency_ms": _stats_ms(merged["total"]),
+                    "queue_ms": _stats_ms(merged["queue"]),
+                    "compute_ms": _stats_ms(merged["compute"]),
+                    "failed_ms": _stats_ms(merged["failed"]),
+                },
+                "classes": classes,
+                "routed": routed,
+                "fill_ratio":
+                    rows / (rows + padded) if rows + padded else 0.0,
+            },
+        }

@@ -9,6 +9,15 @@ an oversized request splits) lives in the
 here.  The batcher synchronizes on :attr:`RequestQueue.cond`, the one
 monitor both sides share: a ``submit`` wakes waiting workers without a
 second lock or a polling loop.
+
+Every request carries a **priority class** (:data:`PRIORITIES`) and an
+optional absolute **deadline** — the deadline coalescing policy orders
+assembly rounds by them and the metrics report SLO percentiles per
+class.  :class:`BoundedRequestQueue` adds backpressure: admission is
+capped at ``max_pending_rows`` pending sample rows, and an over-cap
+``submit`` raises :class:`RequestRejected` *synchronously* instead of
+growing the backlog — the caller knows at once, and a shed request
+never owns a future that could dangle.
 """
 
 from __future__ import annotations
@@ -26,6 +35,25 @@ from repro.check.instrument import (
     channel_recv,
     channel_send,
 )
+
+#: Priority classes, most to least urgent.  ``critical`` requests get
+#: first claim on assembly rounds under the ``deadline`` coalescing
+#: policy; ``batch`` traffic yields to everything else.
+PRIORITIES = ("critical", "normal", "batch")
+
+#: class name -> urgency rank (lower is more urgent)
+PRIORITY_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
+
+
+class RequestRejected(RuntimeError):
+    """A bounded queue shed this request at submit time.
+
+    Raised synchronously from ``submit`` — the request never entered
+    the backlog and no future exists for it.  Explicit shedding is the
+    backpressure contract: a saturated server answers *now* with a
+    rejection the caller can retry elsewhere, instead of accepting work
+    it cannot finish in time.
+    """
 
 
 class RequestFuture:
@@ -69,16 +97,30 @@ class InferenceRequest:
     future resolves when the last part lands.  ``versions`` records the
     engine weights version each slice computed under; the no-tearing
     guarantee of ``swap_weights`` is exactly ``len(versions) == 1``.
+
+    ``fail`` and ``deliver`` race by design (a split request's batches
+    run on different workers, and one batch can fail mid-scatter after
+    a sibling slice already landed), so *both* resolve the future and
+    ``complete_time`` under ``_lock``, and both are no-ops once the
+    future is done — a request is counted completed XOR failed, exactly
+    once, whatever the interleaving.
     """
 
     def __init__(self, request_id: int, size: int,
-                 data: Optional[np.ndarray], enqueue_time: float):
+                 data: Optional[np.ndarray], enqueue_time: float,
+                 priority: str = "normal",
+                 deadline: Optional[float] = None):
         if size < 1:
             raise ValueError(f"request needs >= 1 samples, got {size}")
+        if priority not in PRIORITY_RANK:
+            raise ValueError(f"unknown priority {priority!r}; "
+                             f"expected one of {PRIORITIES}")
         self.request_id = request_id
         self.size = size
         self.data = data
         self.enqueue_time = enqueue_time
+        self.priority = priority
+        self.deadline = None if deadline is None else float(deadline)
         self.future = RequestFuture()
         self.dispatch_time: Optional[float] = None   # first slice started
         self.complete_time: Optional[float] = None
@@ -103,13 +145,24 @@ class InferenceRequest:
                 version: int, now: float) -> bool:
         """Hand one slice's output rows over; resolves the future when
         every part has arrived.  True exactly once, on the delivery
-        that completed the request (the caller records metrics then)."""
+        that completed the request (the caller records metrics then).
+
+        A no-op (False) once the future is done: after one slice batch
+        failed the request, late deliveries of the surviving slices
+        must not count it down to "completed" a second time — the fix
+        for the completed-AND-failed double-count.
+        """
         with self._lock:
+            if self.future.done():
+                return False     # already failed (or delivered): drop it
             self._parts[part_index] = rows
             self.versions.add(version)
             self._remaining -= 1
-            finished = self._remaining == 0
-        if finished:
+            if self._remaining > 0:
+                return False
+            # resolve under the lock: a racing fail() checks done()
+            # under the same lock, so completion and failure are
+            # mutually exclusive and complete_time is never torn
             self.complete_time = now
             if any(p is None for p in self._parts):
                 self.future.set_result(None)     # simulated mode
@@ -117,11 +170,12 @@ class InferenceRequest:
                 out = self._parts[0] if len(self._parts) == 1 \
                     else np.concatenate(self._parts, axis=0)
                 self.future.set_result(out)
-        return finished
+            return True
 
     def fail(self, exc: BaseException, now: float) -> bool:
         """Resolve the future with ``exc``; True only on the first
-        failure (a split request can fail once per slice batch)."""
+        failure (a split request can fail once per slice batch), and
+        never after the request already completed."""
         with self._lock:
             if self.future.done():
                 return False
@@ -159,10 +213,14 @@ class RequestQueue:
 
     # -- producer side ----------------------------------------------------
     def submit(self, data: Optional[np.ndarray] = None,
-               size: Optional[int] = None) -> InferenceRequest:
+               size: Optional[int] = None,
+               priority: str = "normal",
+               deadline: Optional[float] = None) -> InferenceRequest:
         """Enqueue a request of ``data`` rows (concrete) or a bare
         ``size`` (simulated traffic); returns the request, whose
-        ``.future`` the caller blocks on."""
+        ``.future`` the caller blocks on.  ``priority`` is one of
+        :data:`PRIORITIES`; ``deadline`` is an absolute clock time the
+        deadline coalescing policy orders urgent work by."""
         if data is not None:
             data = np.asarray(data, dtype=np.float32)
             if data.ndim < 1 or data.shape[0] < 1:
@@ -181,7 +239,9 @@ class RequestQueue:
         with self.cond:
             if self._closed:
                 raise RuntimeError("queue is closed; no new requests")
-            req = InferenceRequest(self._next_id, size, data, self.clock())
+            self._admit(size)    # bounded subclass may RequestRejected
+            req = InferenceRequest(self._next_id, size, data, self.clock(),
+                                   priority=priority, deadline=deadline)
             self._next_id += 1
             self._items.append(req)
             self.submitted += 1
@@ -190,6 +250,10 @@ class RequestQueue:
             channel_send(f"req:{req.request_id}", "queue.put")
             self.cond.notify_all()
         return req
+
+    def _admit(self, size: int) -> None:
+        """Admission control hook (caller holds ``cond``); the unbounded
+        base queue admits everything."""
 
     def close(self) -> None:
         """Reject further submits; pending requests still drain."""
@@ -218,3 +282,36 @@ class RequestQueue:
         for r in items:
             channel_recv(f"req:{r.request_id}", "queue.take")
         return items
+
+
+class BoundedRequestQueue(RequestQueue):
+    """A :class:`RequestQueue` with bounded admission: at most
+    ``max_pending_rows`` sample rows may wait for assembly.
+
+    An over-cap ``submit`` raises :class:`RequestRejected` before a
+    request (or its future) is ever created — the backpressure is
+    synchronous and explicit, so a saturating burst produces rejections
+    the caller can route elsewhere, never an unbounded backlog.  The
+    ``shed``/``shed_rows`` counters are maintained under ``cond`` and
+    make the fleet accounting identity
+    ``completed + failed + shed == offered`` checkable exactly.
+    """
+
+    def __init__(self, max_pending_rows: int,
+                 sample_shape: Optional[tuple] = None,
+                 clock: Callable[[], float] = monotonic):
+        if max_pending_rows < 1:
+            raise ValueError(
+                f"max_pending_rows must be >= 1, got {max_pending_rows}")
+        super().__init__(sample_shape=sample_shape, clock=clock)
+        self.max_pending_rows = int(max_pending_rows)
+        self.shed = 0          # requests rejected at admission
+        self.shed_rows = 0     # sample rows those requests carried
+
+    def _admit(self, size: int) -> None:
+        if self.pending_rows() + size > self.max_pending_rows:
+            self.shed += 1
+            self.shed_rows += size
+            raise RequestRejected(
+                f"queue full: {self.pending_rows()} pending rows + "
+                f"{size} > max_pending_rows={self.max_pending_rows}")

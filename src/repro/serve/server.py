@@ -32,7 +32,12 @@ from repro.check.instrument import TracedLock, TracedThread, trace_read
 from repro.core.engine import Engine
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.metrics import ServerMetrics
-from repro.serve.queue import RequestFuture, RequestQueue
+from repro.serve.queue import (
+    BoundedRequestQueue,
+    RequestFuture,
+    RequestQueue,
+    RequestRejected,
+)
 
 
 class InferenceServer:
@@ -40,24 +45,53 @@ class InferenceServer:
 
     ``workers`` infer sessions share the engine's compiled plans (one
     planning pass however many workers).  ``policy`` picks the
-    registered coalescing strategy (``"fifo"``, ``"greedy-fill"``);
-    ``max_wait`` bounds how long a lone request waits for batch-mates.
+    registered coalescing strategy (``"fifo"``, ``"greedy-fill"``,
+    ``"deadline"``); ``max_wait`` bounds how long a lone request waits
+    for batch-mates.  ``max_pending_rows`` bounds admission (the queue
+    sheds with :class:`RequestRejected` past it); ``max_workers`` above
+    ``workers`` arms the autoscaler — extra workers spawn while the
+    backlog exceeds ``scale_up_depth`` batches per live worker, and
+    retire after ``idle_retire`` seconds without work, never dropping
+    below the ``workers`` floor (so a drain always progresses).
     Use as a context manager, or ``start()``/``stop()`` explicitly.
     """
 
     def __init__(self, engine: Engine, workers: int = 2,
                  policy="fifo", max_wait: float = 0.002,
+                 max_pending_rows: Optional[int] = None,
+                 max_workers: Optional[int] = None,
+                 scale_up_depth: float = 2.0,
+                 idle_retire: float = 0.05,
                  clock: Callable[[], float] = monotonic):
         if workers < 1:
             raise ValueError(f"need >= 1 workers, got {workers}")
+        if max_workers is not None and max_workers < workers:
+            raise ValueError(
+                f"max_workers={max_workers} below the {workers}-worker "
+                f"floor")
+        if scale_up_depth <= 0:
+            raise ValueError(
+                f"scale_up_depth must be > 0, got {scale_up_depth}")
+        if idle_retire <= 0:
+            raise ValueError(
+                f"idle_retire must be > 0, got {idle_retire}")
         if not engine.supports_parallel("infer"):  # always true today;
             raise TypeError(                       # guards future modes
                 "engine cannot drive parallel infer sessions")
         self.engine = engine
         self.workers = workers
+        self.min_workers = workers
+        self.max_workers = workers if max_workers is None else max_workers
+        self.scale_up_depth = scale_up_depth
+        self.idle_retire = idle_retire
         self.clock = clock
-        self.queue = RequestQueue(sample_shape=engine.input_shape[1:],
-                                  clock=clock)
+        sample_shape = engine.input_shape[1:]
+        if max_pending_rows is None:
+            self.queue = RequestQueue(sample_shape=sample_shape,
+                                      clock=clock)
+        else:
+            self.queue = BoundedRequestQueue(
+                max_pending_rows, sample_shape=sample_shape, clock=clock)
         self.batcher = DynamicBatcher(self.queue, engine.batch_size,
                                       policy=policy, max_wait=max_wait,
                                       clock=clock)
@@ -66,6 +100,11 @@ class InferenceServer:
         self._threads: list = []
         self._started = False
         self._stopped = False
+        # guards the worker roster (_alive/_sessions/_threads); taken
+        # alone, never inside the queue monitor, so the order is acyclic
+        self._scale_lock = TracedLock("server.scale")
+        self._alive = 0
+        self._worker_seq = 0
         # serializes swappers; the batcher pause/drain is the barrier.
         # gate=True: holding it across wait_idle IS the design (RACE004
         # exempts documented gates)
@@ -80,18 +119,46 @@ class InferenceServer:
         # engine's compile lock would serialize them anyway)
         self.engine.compiled("infer")
         self.metrics.note_start()
-        for i in range(self.workers):
-            # history capped to 0: a serving worker runs unboundedly
-            # many iterations and every result holds traces + the
-            # output batch — retaining them would grow without limit
-            session = self.engine.session(mode="infer").with_history(0)
-            thread = TracedThread(
-                target=self._worker_loop, args=(session,),
-                name=f"repro-serve-{i}", daemon=True)
-            self._sessions.append(session)
-            self._threads.append(thread)
-            thread.start()
+        with self._scale_lock:
+            for _ in range(self.workers):
+                self._spawn_worker()
         return self
+
+    def _spawn_worker(self) -> None:
+        """Stand one worker up (caller holds ``_scale_lock``)."""
+        # history capped to 0: a serving worker runs unboundedly
+        # many iterations and every result holds traces + the
+        # output batch — retaining them would grow without limit
+        session = self.engine.session(mode="infer").with_history(0)
+        thread = TracedThread(
+            target=self._worker_loop, args=(session,),
+            name=f"repro-serve-{self._worker_seq}", daemon=True)
+        self._worker_seq += 1
+        self._alive += 1
+        self._sessions.append(session)
+        self._threads.append(thread)
+        thread.start()
+
+    def _maybe_scale_up(self) -> None:
+        """Spawn a worker when the backlog outruns the live ones (called
+        on the submit path; cheap when autoscaling is off)."""
+        if self.max_workers <= self.min_workers:
+            return
+        with self.queue.cond:
+            backlog = self.queue.pending_rows()
+        with self._scale_lock:
+            if self._stopped or not self._started \
+                    or self._alive >= self.max_workers:
+                return
+            threshold = self.scale_up_depth * self.engine.batch_size \
+                * self._alive
+            if backlog > threshold:
+                self._spawn_worker()
+
+    @property
+    def alive_workers(self) -> int:
+        with self._scale_lock:
+            return self._alive
 
     def stop(self, drain: bool = True,
              timeout: Optional[float] = None) -> bool:
@@ -133,6 +200,14 @@ class InferenceServer:
             raise RuntimeError(
                 f"workers still running after shutdown: {stuck}; "
                 "their sessions were left open")
+        # the accounting invariant the double-count fix restores: every
+        # admitted request resolved exactly one way (sheds never entered
+        # `submitted`, so they do not appear on either side)
+        completed, failed, _ = self.metrics.counts()
+        if completed + failed != self.queue.submitted:
+            raise RuntimeError(
+                f"request accounting broken: completed={completed} + "
+                f"failed={failed} != submitted={self.queue.submitted}")
         for s in self._sessions:
             s.close()
         self.metrics.note_stop()
@@ -145,17 +220,7 @@ class InferenceServer:
         self.stop(drain=exc_type is None)
 
     # -------------------------------------------------------------- serving
-    def submit(self, data: Optional[np.ndarray] = None,
-               size: Optional[int] = None) -> RequestFuture:
-        """Enqueue one request; returns its future.
-
-        Concrete engines require payload ``data`` of shape
-        ``(n, *sample_shape)`` — the rows the future's result maps back
-        to, bit-identical to running them alone.  Simulated engines
-        take a bare ``size`` (descriptor-only traffic: the full
-        batching/latency path with no payloads, so the future resolves
-        to ``None``).
-        """
+    def _check_payload(self, data, size) -> int:
         if self.engine.config.concrete and data is None:
             raise ValueError(
                 "a concrete engine serves payload rows; pass data= "
@@ -164,7 +229,54 @@ class InferenceServer:
             raise ValueError(
                 "a simulated engine holds no payloads, so the rows "
                 "would be silently ignored; pass size= instead")
-        return self.queue.submit(data=data, size=size).future
+        if data is not None:
+            return int(np.asarray(data).shape[0])
+        if size is None:
+            raise ValueError("submit needs data rows or an explicit size")
+        return int(size)
+
+    def submit(self, data: Optional[np.ndarray] = None,
+               size: Optional[int] = None,
+               priority: str = "normal",
+               deadline: Optional[float] = None) -> RequestFuture:
+        """Enqueue one request; returns its future.
+
+        Concrete engines require payload ``data`` of shape
+        ``(n, *sample_shape)`` — the rows the future's result maps back
+        to, bit-identical to running them alone.  Simulated engines
+        take a bare ``size`` (descriptor-only traffic: the full
+        batching/latency path with no payloads, so the future resolves
+        to ``None``).  On a bounded queue an over-cap submit records a
+        shed and re-raises :class:`RequestRejected`.
+        """
+        rows = self._check_payload(data, size)
+        try:
+            req = self.queue.submit(data=data, size=size,
+                                    priority=priority, deadline=deadline)
+        except RequestRejected:
+            self.metrics.record_shed(rows, priority)
+            raise
+        self._maybe_scale_up()
+        return req.future
+
+    def try_submit(self, data: Optional[np.ndarray] = None,
+                   size: Optional[int] = None,
+                   priority: str = "normal",
+                   deadline: Optional[float] = None
+                   ) -> Optional[RequestFuture]:
+        """Like :meth:`submit`, but an admission rejection returns
+        ``None`` and records nothing — the spillover probe the fleet
+        router uses while it still has other lanes to try (only a
+        fleet-wide rejection is a real shed, and the fleet records it).
+        """
+        self._check_payload(data, size)
+        try:
+            req = self.queue.submit(data=data, size=size,
+                                    priority=priority, deadline=deadline)
+        except RequestRejected:
+            return None
+        self._maybe_scale_up()
+        return req.future
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until every submitted request has completed."""
@@ -194,19 +306,34 @@ class InferenceServer:
         return installed
 
     def describe(self) -> str:
+        workers = f"{self.workers} workers" \
+            if self.max_workers == self.min_workers \
+            else f"{self.min_workers}..{self.max_workers} workers"
+        bound = "" if not isinstance(self.queue, BoundedRequestQueue) \
+            else f", max_pending_rows={self.queue.max_pending_rows}"
         return (f"InferenceServer({self.engine.net.name}, "
-                f"{self.workers} workers, {self.batcher.describe()}, "
+                f"{workers}, {self.batcher.describe()}{bound}, "
                 f"weights v{self.engine.weights_version})")
 
     # -------------------------------------------------------------- workers
     def _worker_loop(self, session) -> None:
         concrete = self.engine.config.concrete
         input_shape = self.engine.input_shape
+        autoscaling = self.max_workers > self.min_workers
         iteration = 0
         while True:
-            batch = self.batcher.next_batch()
-            if batch is None:       # shutdown
-                return
+            batch = self.batcher.next_batch(
+                timeout=self.idle_retire if autoscaling else None)
+            if batch is None:
+                if self.batcher.stopping:   # shutdown
+                    return
+                # idle timeout: retire if we are above the floor (the
+                # floor guarantees a drain always has live workers)
+                with self._scale_lock:
+                    if self._alive > self.min_workers:
+                        self._alive -= 1
+                        return
+                continue
             now = self.clock()
             for s in batch.slices:
                 s.request.mark_dispatched(now)
