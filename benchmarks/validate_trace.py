@@ -1,0 +1,45 @@
+"""Validate an exported Chrome trace artifact offline.
+
+CI's obs-smoke job runs ``cli serve --trace-out trace.json`` and then
+this script, which replays the full validation the exporter applied at
+write time — event schema, exactly one root span per serving request
+tree, well-formed child nesting, and (when ``otherData.requests`` is
+present) the fleet accounting identity: root spans by status partition
+exactly into completed (``ok``) + failed (``error``) + shed (``shed``),
+one root per offered request.
+
+Usage::
+
+    python benchmarks/validate_trace.py trace.json [more.json ...]
+
+Exit code 0 when every file validates, 1 otherwise (problems printed
+one per line, prefixed with the file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import validate_trace_file
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+",
+                    help="Chrome trace JSON files to validate")
+    args = ap.parse_args()
+    failed = False
+    for path in args.traces:
+        problems = validate_trace_file(path)
+        if problems:
+            failed = True
+            for p in problems:
+                print(f"{path}: {p}", file=sys.stderr)
+        else:
+            print(f"{path}: valid")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,51 @@ GiB = 1024 * MiB
 
 DEFAULT_NET = "alexnet"
 
+#: the one serving clock.  Arrival pacing, request deadlines, span
+#: timestamps and the server/fleet internals all read this monotonic
+#: base — pacing on ``perf_counter`` while deadlines used ``monotonic``
+#: put the two on different (drifting) zero points.
+CLOCK = time.monotonic
+
+
+def paced_replay(arrivals, dispatch, clock=None, sleep=time.sleep) -> None:
+    """Replay a timed trace: each arrival is ``(at, *rest)``; wait
+    until trace offset ``at`` on ``clock``, then call
+    ``dispatch(index, arrival)``.  ``clock`` and ``sleep`` are
+    injectable so tests replay a trace on a fake clock with no
+    real-time sleeps."""
+    clock = CLOCK if clock is None else clock
+    t0 = clock()
+    for i, arrival in enumerate(arrivals):
+        delay = arrival[0] - (clock() - t0)
+        if delay > 0:
+            sleep(delay)
+        dispatch(i, arrival)
+
+
+def _export_obs(args, tracer, timelines, counts, metrics_host,
+                prefix: str) -> None:
+    """Write the serve observability artifacts.  ``--trace-out`` gets
+    the merged Chrome trace (span trees + worker device timelines,
+    validated against the serving counts before writing);
+    ``--metrics-out`` appends one metrics-registry JSONL snapshot."""
+    if tracer is not None and args.trace_out:
+        from repro.obs.export import export_chrome_trace
+        completed, failed, shed = counts
+        doc = export_chrome_trace(
+            args.trace_out, tracer, timelines=timelines,
+            counts={"completed": completed, "failed": failed,
+                    "shed": shed})
+        print(f"trace        : {len(tracer)} spans, "
+              f"{len(doc['traceEvents'])} events -> {args.trace_out}")
+    if getattr(args, "metrics_out", None):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        metrics_host.register_metrics(registry, prefix)
+        registry.export_jsonl(args.metrics_out)
+        print(f"metrics      : {len(registry.names())} series "
+              f"-> {args.metrics_out}")
+
 
 def _add_common(p: argparse.ArgumentParser) -> None:
     # default=None so commands can tell an explicit --net from the
@@ -106,6 +151,8 @@ def cmd_report(args) -> int:
 def cmd_trace(args) -> int:
     name = _net_name(args)
     net = NETWORK_BUILDERS[name](batch=args.batch)
+    if args.trace_out:
+        return _cmd_trace_export(args, name, net)
     with Session(net, _config(args)) as sess:
         res = sess.run_iteration(0)
     tab = Table(f"stepwise memory: {name} b={args.batch} "
@@ -115,6 +162,34 @@ def cmd_trace(args) -> int:
         tab.add(t.index, t.label, f"{t.activation_high / MiB:.1f}",
                 f"{t.activation_settled / MiB:.1f}", t.live_tensors)
     print(tab.render())
+    return 0
+
+
+def _cmd_trace_export(args, name, net) -> int:
+    """``trace --trace-out``: run ``--iters`` live iterations with the
+    span tracer armed and write the merged Chrome trace — wall-clock
+    iteration spans plus the simulated device streams (compute/D2H/H2D
+    overlap), Perfetto-loadable."""
+    import dataclasses
+
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import export_chrome_trace
+
+    if args.iters < 1:
+        print("trace --trace-out needs --iters >= 1", file=sys.stderr)
+        return 2
+    cfg = dataclasses.replace(_config(args), trace=True)
+    with obs_trace.capture(clock=CLOCK) as tracer:
+        with Session(net, cfg, mode=args.mode) as sess:
+            for i in range(args.iters):
+                sess.run_iteration(i)
+            timeline = sess.executor.timeline
+    doc = export_chrome_trace(
+        args.trace_out, tracer,
+        timelines={f"{name}.{args.mode}": timeline})
+    print(f"{name} b={args.batch} {args.mode}: {args.iters} iteration(s) "
+          f"traced, {len(tracer)} spans, {len(doc['traceEvents'])} "
+          f"events -> {args.trace_out}")
     return 0
 
 
@@ -160,30 +235,38 @@ def cmd_infer(args) -> int:
     net = NETWORK_BUILDERS[name](batch=args.batch)
     engine = Engine(net, _config(args))
     sessions = [engine.session(mode="infer") for _ in range(args.sessions)]
+    if args.trace_out:
+        from repro.obs import trace as obs_trace
+        obs_ctx = obs_trace.capture(clock=CLOCK)
+    else:
+        from contextlib import nullcontext
+        obs_ctx = nullcontext()
     try:
-        t0 = time.perf_counter()
-        if args.parallel:
-            # thread-per-session: tensor state is session-local, so the
-            # threads interleave at op granularity with results
-            # bit-identical to the round-robin loop below.  On timeout
-            # the worker threads are abandoned but non-daemon (they
-            # would block interpreter exit), so hard-exit as
-            # parallel_run's docstring prescribes for CLIs.
-            from concurrent.futures import TimeoutError as _FutTimeout
-            try:
-                per_session = engine.parallel_run(sessions, args.iters,
-                                                  timeout=args.timeout)
-            except (_FutTimeout, TimeoutError):
-                print(f"parallel sessions hung past {args.timeout:g}s; "
-                      "aborting", file=sys.stderr)
-                os._exit(1)
-            results = [r for rs in per_session for r in rs]
-        else:
-            results = []
-            for i in range(args.iters):
-                for s in sessions:  # round-robin: the serving interleave
-                    results.append(s.run_iteration(i))
-        wall = time.perf_counter() - t0
+        with obs_ctx as tracer:
+            t0 = time.perf_counter()
+            if args.parallel:
+                # thread-per-session: tensor state is session-local, so
+                # the threads interleave at op granularity with results
+                # bit-identical to the round-robin loop below.  On
+                # timeout the worker threads are abandoned but
+                # non-daemon (they would block interpreter exit), so
+                # hard-exit as parallel_run's docstring prescribes for
+                # CLIs.
+                from concurrent.futures import TimeoutError as _FutTimeout
+                try:
+                    per_session = engine.parallel_run(
+                        sessions, args.iters, timeout=args.timeout)
+                except (_FutTimeout, TimeoutError):
+                    print(f"parallel sessions hung past "
+                          f"{args.timeout:g}s; aborting", file=sys.stderr)
+                    os._exit(1)
+                results = [r for rs in per_session for r in rs]
+            else:
+                results = []
+                for i in range(args.iters):
+                    for s in sessions:  # round-robin serving interleave
+                        results.append(s.run_iteration(i))
+            wall = time.perf_counter() - t0
     finally:
         for s in sessions:
             s.close()
@@ -207,14 +290,23 @@ def cmd_infer(args) -> int:
     print(f"host time    : {wall / n_iter * 1e3:.2f} ms/iter over "
           f"{n_iter} iterations ({args.batch * n_iter / wall:.0f} img/s "
           f"aggregate)")
+    if tracer is not None:
+        from repro.obs.export import export_chrome_trace
+        doc = export_chrome_trace(
+            args.trace_out, tracer,
+            timelines={f"{name}.s{i}": s.executor.timeline
+                       for i, s in enumerate(sessions)})
+        print(f"trace        : {len(tracer)} spans, "
+              f"{len(doc['traceEvents'])} events -> {args.trace_out}")
     return 0
 
 
-def _cmd_serve_fleet(args) -> int:
+def _cmd_serve_fleet(args, tracer=None) -> int:
     """Heterogeneous fleet serving: N batch shapes, SLO-aware routing."""
     import numpy as np
 
     from repro.serve import RequestRejected, ServingFleet
+    from repro.serve.metrics import render_slo_report
 
     try:
         batches = [int(b) for b in args.fleet_batches.split(",") if b]
@@ -246,35 +338,37 @@ def _cmd_serve_fleet(args) -> int:
     fleet = ServingFleet(engines, workers=args.workers,
                          max_workers=args.max_workers,
                          max_pending_rows=args.max_pending_rows,
-                         policy=args.policy, max_wait=args.max_wait)
-    shed = 0
+                         policy=args.policy, max_wait=args.max_wait,
+                         clock=CLOCK)
+    shed = [0]
+
+    def dispatch(_i, arrival):
+        _at, size, critical = arrival
+        priority = "critical" if critical else "normal"
+        deadline = CLOCK() + 0.05 if critical else None
+        try:
+            if args.concrete:
+                data = rng.standard_normal(
+                    (size,) + sample_shape).astype(np.float32)
+                fleet.submit(data=data, priority=priority,
+                             deadline=deadline)
+            else:
+                fleet.submit(size=size, priority=priority,
+                             deadline=deadline)
+        except RequestRejected:
+            shed[0] += 1  # explicit backpressure, not a failure
+
+    timelines = None
     with fleet:
-        t0 = time.perf_counter()
-        for at, size, critical in arrivals:
-            delay = at - (time.perf_counter() - t0)
-            if delay > 0:
-                time.sleep(delay)
-            priority = "critical" if critical else "normal"
-            deadline = time.monotonic() + 0.05 if critical else None
-            try:
-                if args.concrete:
-                    data = rng.standard_normal(
-                        (size,) + sample_shape).astype(np.float32)
-                    fleet.submit(data=data, priority=priority,
-                                 deadline=deadline)
-                else:
-                    fleet.submit(size=size, priority=priority,
-                                 deadline=deadline)
-            except RequestRejected:
-                shed += 1     # explicit backpressure, not a failure
+        paced_replay(arrivals, dispatch)
         if not fleet.drain(timeout=args.timeout):
             print(f"backlog not drained after {args.timeout:g}s; "
                   "aborting", file=sys.stderr)
             os._exit(1)
+        if tracer is not None:
+            timelines = fleet.session_timelines()
     m = fleet.metrics.to_dict()
-    fl = m["fleet"]
-    req = fl["requests"]
-    offered = req["completed"] + req["failed"] + req["shed"]
+    req = m["fleet"]["requests"]
     print(f"network      : {name} x {len(batches)} engines "
           f"(batches {','.join(str(b) for b in batches)}, "
           f"{'concrete' if args.concrete else 'simulated'})")
@@ -283,46 +377,43 @@ def _cmd_serve_fleet(args) -> int:
           f"{args.duration:g}s at ~{args.rate:g} req/s "
           f"(sizes 1..{max_request}, "
           f"{args.critical_frac:.0%} critical, seed {args.seed})")
-    print(f"requests     : {req['completed']} completed, "
-          f"{req['failed']} failed, {req['shed']} shed "
-          f"(rate {req['shed_rate']:.1%}) — offered {offered}")
-    print(f"latency      : p50 {req['latency_ms']['p50']:.2f} ms, "
-          f"p95 {req['latency_ms']['p95']:.2f} ms, "
-          f"p99 {req['latency_ms']['p99']:.2f} ms")
-    for cls, c in fl["classes"].items():
-        if c["completed"] or c["failed"] or c["shed"]:
-            print(f"  {cls:<10} : {c['completed']} done, "
-                  f"p95 {c['latency_ms']['p95']:.2f} ms, "
-                  f"p99 {c['latency_ms']['p99']:.2f} ms, "
-                  f"{c['shed']} shed")
-    print(f"fill         : {fl['fill_ratio']:.1%} fleet-wide")
-    for lane, eng in m["engines"].items():
-        er, eb = eng["requests"], eng["batches"]
-        print(f"  {lane:<12} : {fl['routed'][lane]} routed, "
-              f"{er['completed']} done, fill {eb['fill_ratio']:.1%}, "
-              f"p95 {er['latency_ms']['p95']:.2f} ms")
-    assert req["shed"] == shed, (req["shed"], shed)
+    print(render_slo_report(m))
+    assert req["shed"] == shed[0], (req["shed"], shed[0])
     if req["completed"] + req["failed"] + req["shed"] != len(arrivals):
         print(f"accounting broken: {req['completed']} + {req['failed']} "
               f"+ {req['shed']} != {len(arrivals)}", file=sys.stderr)
         return 1
+    _export_obs(args, tracer, timelines, fleet.metrics.counts(),
+                fleet, "fleet")
     return 1 if req["failed"] else 0
 
 
 def cmd_serve(args) -> int:
     """Dynamic-batching serving from a synthetic arrival trace."""
-    import numpy as np
-
-    from repro.serve import InferenceServer
-
     if args.rate <= 0 or args.duration <= 0 or args.workers < 1 \
             or args.swaps < 0 \
             or (args.max_request is not None and args.max_request < 1):
         print("serve needs --rate > 0, --duration > 0, --workers >= 1, "
               "--swaps >= 0, --max-request >= 1", file=sys.stderr)
         return 2
-    if args.fleet:
-        return _cmd_serve_fleet(args)
+    run = _cmd_serve_fleet if args.fleet else _cmd_serve_single
+    if args.trace_out:
+        # arm a fresh tracer BEFORE the engines build: the executor
+        # decides at construction whether to keep a device-op log for
+        # the exporter's simulated-stream lanes
+        from repro.obs import trace as obs_trace
+        with obs_trace.capture(clock=CLOCK) as tracer:
+            return run(args, tracer)
+    return run(args)
+
+
+def _cmd_serve_single(args, tracer=None) -> int:
+    """One engine, one dynamic batcher, N worker sessions."""
+    import numpy as np
+
+    from repro.serve import InferenceServer
+    from repro.serve.metrics import render_slo_report
+
     name = _net_name(args)
     net = NETWORK_BUILDERS[name](batch=args.batch)
     cfg = framework_config(args.framework, concrete=args.concrete,
@@ -343,55 +434,45 @@ def cmd_serve(args) -> int:
 
     server = InferenceServer(engine, workers=args.workers,
                              policy=args.policy,
-                             max_wait=args.max_wait)
+                             max_wait=args.max_wait, clock=CLOCK)
     # max(1, ...): a trace shorter than swaps+1 still swaps on every
     # arrival instead of silently skipping the requested hot swaps
     swap_every = max(1, len(arrivals) // (args.swaps + 1)) \
         if args.swaps else 0
     snapshot = engine.snapshot_params() if args.swaps else None
+
+    def dispatch(i, arrival):
+        _at, size = arrival
+        if args.concrete:
+            data = rng.standard_normal(
+                (size,) + sample_shape).astype(np.float32)
+            server.submit(data=data)
+        else:
+            server.submit(size=size)
+        if swap_every and (i + 1) % swap_every == 0 \
+                and engine.weights_version < args.swaps:
+            server.swap_weights(snapshot, timeout=args.timeout)
+
+    timelines = None
     with server:
-        t0 = time.perf_counter()
-        for i, (at, size) in enumerate(arrivals):
-            delay = at - (time.perf_counter() - t0)
-            if delay > 0:
-                time.sleep(delay)
-            if args.concrete:
-                data = rng.standard_normal(
-                    (size,) + sample_shape).astype(np.float32)
-                server.submit(data=data)
-            else:
-                server.submit(size=size)
-            if swap_every and (i + 1) % swap_every == 0 \
-                    and engine.weights_version < args.swaps:
-                server.swap_weights(snapshot, timeout=args.timeout)
+        paced_replay(arrivals, dispatch)
         if not server.drain(timeout=args.timeout):
             print(f"backlog not drained after {args.timeout:g}s; "
                   "aborting", file=sys.stderr)
             os._exit(1)
+        if tracer is not None:
+            timelines = server.session_timelines()
     m = server.metrics.to_dict()
-    req, bat, thr = m["requests"], m["batches"], m["throughput"]
-    failed = req["failed"]
+    failed = m["requests"]["failed"]
     print(f"network      : {name} (batch {args.batch}, {len(net)} layers, "
           f"{'concrete' if args.concrete else 'simulated'})")
     print(f"server       : {server.describe()}")
     print(f"trace        : {len(arrivals)} requests over "
           f"{args.duration:g}s at ~{args.rate:g} req/s "
           f"(sizes 1..{max_request}, seed {args.seed})")
-    print(f"requests     : {req['completed']} completed, {failed} failed, "
-          f"{req['samples']} samples")
-    print(f"latency      : p50 {req['latency_ms']['p50']:.2f} ms, "
-          f"p95 {req['latency_ms']['p95']:.2f} ms, "
-          f"max {req['latency_ms']['max']:.2f} ms "
-          f"(queue p95 {req['queue_ms']['p95']:.2f} ms)")
-    print(f"batches      : {bat['count']} steps, fill "
-          f"{bat['fill_ratio']:.1%}, {bat['padded_rows']} padded rows, "
-          f"{bat['split_slices']} split slices")
-    print(f"throughput   : {thr['requests_per_second']:.1f} req/s, "
-          f"{thr['samples_per_second']:.1f} samples/s over "
-          f"{thr['elapsed_seconds']:.2f}s")
-    if args.swaps:
-        print(f"weight swaps : {m['swaps']['count']} "
-              f"(now v{m['swaps']['weights_version']})")
+    print(render_slo_report(m))
+    _export_obs(args, tracer, timelines, server.metrics.counts(),
+                server, "server")
     return 1 if failed else 0
 
 
@@ -610,6 +691,15 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("trace", help="stepwise memory trace")
     _add_common(p)
+    p.add_argument("--trace-out", default=None,
+                   help="write a Perfetto-loadable Chrome trace of "
+                        "--iters live iterations (wall-clock spans + "
+                        "simulated device streams) instead of the "
+                        "stepwise table")
+    p.add_argument("--mode", choices=("train", "infer"), default="train",
+                   help="execution mode for --trace-out runs")
+    p.add_argument("--iters", type=int, default=2,
+                   help="iterations to trace with --trace-out")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("probe", help="largest batch / deepest ResNet")
@@ -636,6 +726,10 @@ def main(argv=None) -> int:
     p.add_argument("--timeout", type=float, default=600.0,
                    help="seconds before a hung --parallel run aborts "
                         "(the parallel_run shared deadline)")
+    p.add_argument("--trace-out", default=None,
+                   help="arm the span tracer and write a "
+                        "Perfetto-loadable Chrome trace (per-session "
+                        "run/iteration spans + device timelines) here")
     p.set_defaults(fn=cmd_infer)
 
     p = sub.add_parser("serve",
@@ -684,6 +778,14 @@ def main(argv=None) -> int:
                    help="fraction of trace requests tagged "
                         "priority=critical with a deadline "
                         "(--fleet mode)")
+    p.add_argument("--trace-out", default=None,
+                   help="arm the span tracer and write a "
+                        "Perfetto-loadable Chrome trace (one span tree "
+                        "per request + worker device timelines) here")
+    p.add_argument("--metrics-out", default=None,
+                   help="append one metrics-registry JSONL snapshot "
+                        "(SLO report, queue depth, allocator/cache/"
+                        "timeline probes) here")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

@@ -86,6 +86,19 @@ class RuntimeConfig:
     # trace.  None defers to REPRO_TRACE_SYNC_CAP (else the module
     # default); overflow truncates the trace and reports RACE005.
     trace_sync_cap: Optional[int] = None
+    # arm the observability span tracer (repro.obs.trace): engine
+    # iterations, serving request trees and the device-timeline op log
+    # feed the Perfetto exporter.  Three-state: None defers to the
+    # REPRO_TRACE env (applied at import) — the near-zero-cost disarmed
+    # path; True arms the process tracer when the engine/executor is
+    # built; False suppresses this executor's per-iteration hook
+    # entirely (the control arm the bench_steady_state overhead gate
+    # measures the disarmed path against).
+    trace: Optional[bool] = None
+    # span capacity when this config arms the tracer.  None defers to
+    # REPRO_TRACE_LIMIT (else the module default); overflow stops
+    # retaining spans and sets Tracer.truncated.
+    trace_limit: Optional[int] = None
     # build a static cost-model report (repro.check.cost_model) for
     # every compiled mode and stash it on Engine.cost_reports — purely
     # advisory (never raises), the runtime analogue of verify_plans

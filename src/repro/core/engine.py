@@ -86,6 +86,8 @@ from repro.core.recompute import RecomputePlan, plan_segments
 from repro.core.runtime import Executor, IterationResult
 from repro.graph.network import Net
 from repro.graph.route import ExecutionRoute, forward_order
+from repro.obs import recorder as obs_recorder
+from repro.obs import trace as obs_trace
 
 #: The execution modes an engine can compile.
 MODES = ("train", "infer")
@@ -199,6 +201,9 @@ class Engine:
         # arm the synchronization trace when the config asks for it
         # (None defers to the REPRO_TRACE_SYNC env, applied at import)
         resolve_arm(self.config.trace_sync, self.config.trace_sync_cap)
+        # same contract for the observability span tracer (repro.obs):
+        # None defers to REPRO_TRACE, True arms the process tracer now
+        obs_trace.resolve_arm(self.config.trace, self.config.trace_limit)
 
     # ------------------------------------------------------------- compiling
     def compiled(self, mode: str = "train") -> CompiledMode:
@@ -334,7 +339,8 @@ class Engine:
     # ----------------------------------------------------------- concurrency
     def parallel_run(self, sessions: Sequence, iters: int,
                      start_iteration: int = 0,
-                     timeout: Optional[float] = None
+                     timeout: Optional[float] = None,
+                     trace: Optional[bool] = None
                      ) -> List[List[IterationResult]]:
         """Drive N sessions concurrently, one thread per session.
 
@@ -361,7 +367,16 @@ class Engine:
         pair the timeout with a process-level kill (CI
         ``timeout-minutes``, or ``os._exit`` as the stress gate does)
         when a hang must not outlive the error.
+
+        ``trace=True`` arms the process span tracer
+        (:mod:`repro.obs.trace`) before the sessions' executors build,
+        so each session gets a ``session.run`` span over ``iters``
+        per-iteration spans and a device timeline with a bounded op
+        log — the ``repro.cli infer --trace-out`` path.  ``None``
+        defers to whatever arming is already in effect.
         """
+        if trace:
+            obs_trace.arm()
         sessions = list(sessions)
         if not sessions:
             return []
@@ -404,18 +419,32 @@ class Engine:
         # (compile cache, substrate construction) happens-before the
         # worker's first step, and each worker's last step
         # happens-before the result collection below
-        def _run_traced(s, token):
+        def _run_traced(s, token, index):
             channel_recv(token, "parallel_run.submit")
+            tracer = obs_trace.ACTIVE
+            span = None if tracer is None else tracer.root(
+                "session.run", cat="engine",
+                attrs={"session": index, "net": self.net.name,
+                       "mode": s.mode, "iters": iters})
             try:
-                return s.run(iters, start_iteration=start_iteration)
+                out = s.run(iters, start_iteration=start_iteration)
+            except BaseException as exc:
+                if span is not None:
+                    span.finish(status="error",
+                                error=type(exc).__name__)
+                raise
+            else:
+                if span is not None:
+                    span.finish()
+                return out
             finally:
                 channel_send(f"done:{token}", "parallel_run.done")
 
         tokens = [f"parallel:{id(self)}:{i}" for i in range(len(sessions))]
         futures = []
-        for s, token in zip(sessions, tokens):
+        for i, (s, token) in enumerate(zip(sessions, tokens)):
             channel_send(token, "parallel_run.submit")
-            futures.append(pool.submit(_run_traced, s, token))
+            futures.append(pool.submit(_run_traced, s, token, i))
         try:
             done, not_done = futures_wait(futures, timeout=timeout,
                                           return_when=FIRST_EXCEPTION)
@@ -434,6 +463,14 @@ class Engine:
             if failed is not None:
                 failed.result()  # re-raise the session's real error
             if not_done:
+                # flight-record the hang before raising: the dump holds
+                # the recent event ring + the last spans, the forensics
+                # a post-mortem of a wedged session starts from
+                obs_recorder.RECORDER.note(
+                    "parallel_run.timeout",
+                    f"{len(not_done)}/{len(futures)} sessions hung",
+                    net=self.net.name, iters=iters, timeout=timeout)
+                obs_recorder.RECORDER.dump("parallel-run-timeout")
                 raise FuturesTimeoutError(
                     f"{len(not_done)}/{len(futures)} sessions still "
                     f"running after {timeout}s")

@@ -60,6 +60,7 @@ from repro.graph.route import ExecutionRoute, Phase, Step
 from repro.layers.base import Layer, LayerContext
 from repro.layers.data import DataLayer
 from repro.mempool.allocator import Allocation, CudaAllocator, PoolAllocator
+from repro.obs import trace as obs_trace
 from repro.tensors.store import ArrayStore, NullStore
 from repro.tensors.tensor import Placement, Tensor, TensorKind
 
@@ -215,9 +216,21 @@ class Executor:
         self.gpu = SimulatedGPU(self.model)
         if cfg.gpu_capacity is not None:
             self.gpu.capacity = cfg.gpu_capacity
-        # no op records: the per-op log would grow without bound across
-        # iterations (introspection uses traces/stats, not the log)
-        self.timeline = Timeline(record_ops=False)
+        # observability: cfg.trace=True arms the process tracer here;
+        # cfg.trace=False suppresses this executor's hooks entirely
+        # (the hook-free control arm of the overhead gate); None defers
+        # to env/global arming, checked per iteration at one global
+        # load.  With tracing on at build time the timeline keeps a
+        # *bounded* op log so the exporter can draw the stream overlap;
+        # otherwise no op records — the per-op log would grow without
+        # bound across iterations (introspection uses traces/stats).
+        obs_trace.resolve_arm(cfg.trace, cfg.trace_limit)
+        self._obs_enabled = cfg.trace is not False
+        record_ops = bool(cfg.trace) or \
+            (cfg.trace is None and obs_trace.armed())
+        self.timeline = Timeline(
+            record_ops=record_ops,
+            max_ops=obs_trace.TIMELINE_OPS_LIMIT if record_ops else None)
         self.dma = DMAEngine(self.timeline, self.model, pinned=cfg.pinned_host)
         self.fabric = MemoryFabric(cfg.external_pools,
                                    pinned=cfg.pinned_host)
@@ -387,6 +400,30 @@ class Executor:
 
     def _workspace_choices(self) -> List[WorkspaceChoice]:
         return self.selector.choices if self.selector is not None else []
+
+    # -------------------------------------------------------- observability
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Register this executor's counting surfaces as probes on a
+        :class:`~repro.obs.metrics.MetricsRegistry` — the owning
+        subsystems keep their own locks; the probes read lazily at
+        ``collect()`` time, so registration adds no hot-path cost."""
+        registry.probe(f"{prefix}.allocator", lambda: {
+            "allocs": self.allocator.stats.allocs,
+            "frees": self.allocator.stats.frees,
+            "alloc_bytes": self.allocator.stats.alloc_bytes,
+            "overhead_seconds": self.allocator.stats.overhead_seconds,
+            "peak_bytes": self.allocator.peak_bytes,
+        })
+        registry.probe(f"{prefix}.cache", lambda: dict(zip(
+            ("hits", "misses", "evictions"), self._cache_counters())))
+        registry.probe(f"{prefix}.timeline", lambda: {
+            "elapsed": self.timeline.elapsed,
+            **{s.value: self.timeline.busy_time(s) for s in Stream},
+        })
+        registry.probe(f"{prefix}.dma", lambda: {
+            "d2h_bytes": self.dma.stats.d2h_bytes,
+            "h2d_bytes": self.dma.stats.h2d_bytes,
+        })
 
     # ------------------------------------------------------------------ params
     def _allocate_params(self) -> None:
@@ -656,6 +693,12 @@ class Executor:
             raise TypeError(
                 "infer mode runs no backward pass, so the optimizer "
                 "would never step; drop it or use a train-mode session")
+        # the per-iteration obs hook: disarmed (trace=None, no tracer)
+        # costs one attribute load + one global load + `is None`;
+        # trace=False short-circuits even that (the control arm the
+        # bench_steady_state overhead gate compares against)
+        tracer = obs_trace.ACTIVE if self._obs_enabled else None
+        wall0 = tracer.clock() if tracer is not None else 0.0
         ctx = self._ctx
         replaying = False
         if self._replay_enabled:
@@ -702,6 +745,14 @@ class Executor:
         # SoftmaxLoss objects would race under concurrent sessions)
         loss = ctx.layer_ctx.last_loss
         hits1, miss1, ev1 = self._cache_counters()
+        if tracer is not None:
+            tracer.emit(
+                "iteration", cat="engine", start=wall0,
+                end=tracer.clock(),
+                attrs={"net": self.net.name, "mode": self.mode,
+                       "iteration": iteration, "replayed": replaying,
+                       "sim_time": round(self.timeline.elapsed - t0, 9),
+                       "peak_bytes": self.allocator.peak_bytes})
         return IterationResult(
             iteration=iteration,
             loss=loss,

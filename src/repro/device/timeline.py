@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, NamedTuple, Optional
+from typing import Deque, Dict, Iterable, List, NamedTuple, Optional
 
 
 class Stream(enum.Enum):
@@ -65,17 +66,25 @@ class Timeline:
     wall-clock of the whole simulation (max over stream clocks).
     """
 
-    def __init__(self, record_ops: bool = True) -> None:
+    def __init__(self, record_ops: bool = True,
+                 max_ops: Optional[int] = None) -> None:
         """``record_ops=False`` keeps the per-op log empty: clocks and
         busy-time still accumulate, but long-running executors do not
-        grow an unbounded list of one record per submitted op."""
+        grow an unbounded list of one record per submitted op.
+        ``max_ops`` bounds the log instead: the *newest* records are
+        kept (a serving executor armed for tracing wants the recent
+        window, not the first minutes) and :attr:`dropped_ops` counts
+        the evictions so an exported trace can say it was clipped."""
         # keyed by Stream.value: str hashes are cached in the object,
         # enum hashing is not — these dicts sit on the hottest path
         self._clock: Dict[str, float] = {s.value: 0.0 for s in Stream}
         self._events = itertools.count(0)
-        self._ops: List[_OpRecord] = []
+        self._ops: Deque[_OpRecord] = deque() if max_ops is None \
+            else deque(maxlen=max_ops)
         self._busy: Dict[str, float] = {s.value: 0.0 for s in Stream}
         self.record_ops = record_ops
+        self.max_ops = max_ops
+        self.dropped_ops = 0
 
     # -- submission -------------------------------------------------------
     def submit(
@@ -109,6 +118,9 @@ class Timeline:
         self._clock[key] = end
         self._busy[key] += duration
         if self.record_ops:
+            if self.max_ops is not None \
+                    and len(self._ops) == self.max_ops:
+                self.dropped_ops += 1
             self._ops.append(_OpRecord(label, stream, start, end))
         return Event(next(self._events), stream, end, label)
 

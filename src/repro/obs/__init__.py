@@ -1,0 +1,71 @@
+"""repro.obs — unified observability: spans, metrics, traces, forensics.
+
+The runtime's four counting surfaces (serving SLO windows, allocator
+stats, tensor-cache counters, the simulated device timeline) grew up
+separately; this package is the layer that reads them as one story:
+
+* :mod:`repro.obs.trace` — the span tracer.  One serving request (or
+  one engine iteration) is one tree of timed :class:`Span` s with a
+  shared trace id; armed via ``RuntimeConfig.trace`` / ``REPRO_TRACE``
+  with the same near-zero-disarmed-cost discipline as
+  ``REPRO_TRACE_SYNC`` (one global load + ``is None`` per hook).
+* :mod:`repro.obs.export` — the Chrome trace-event exporter: wall-clock
+  spans merged with the *simulated* device timeline streams into one
+  Perfetto-loadable ``trace.json``, plus the schema validator the
+  obs-smoke CI job gates on (span nesting, one root per offered
+  request, completed+failed+shed partition the roots).
+* :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry`
+  (counter / gauge / histogram / probe) that ``ServerMetrics``,
+  ``FleetMetrics``, mempool stats and cache counters register into,
+  with a JSON-lines exporter and one renderer the CLI reuses.
+* :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  recent events dumped automatically on request failure, shed burst,
+  ``parallel_run`` timeout, or a stuck worker.
+"""
+
+from repro.obs.export import (
+    build_chrome_trace,
+    export_chrome_trace,
+    validate_trace,
+    validate_trace_file,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import RECORDER, FlightRecorder
+from repro.obs.trace import (
+    ACTIVE,
+    Span,
+    Tracer,
+    active_tracer,
+    arm,
+    armed,
+    capture,
+    disarm,
+)
+
+__all__ = [
+    "ACTIVE",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RECORDER",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "arm",
+    "armed",
+    "build_chrome_trace",
+    "capture",
+    "disarm",
+    "export_chrome_trace",
+    "validate_trace",
+    "validate_trace_file",
+]

@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Type
 import numpy as np
 
 from repro.check.instrument import channel_recv, channel_send
+from repro.obs import trace as obs_trace
 from repro.serve.queue import (
     PRIORITY_RANK,
     InferenceRequest,
@@ -375,6 +376,18 @@ class DynamicBatcher:
                          "batcher.publish")
             self._next_batch_id += 1
         self.batches_assembled += len(plans)
+        tracer = obs_trace.ACTIVE
+        if tracer is not None:
+            # the padding decision, as its own tree: which requests
+            # rode this round, how many batches, what was wasted
+            rows = sum(r.size for r in pending)
+            tracer.emit(
+                "batcher.round", cat="serve.batcher",
+                start=now, end=self.clock(),
+                attrs={"requests": len(pending), "rows": rows,
+                       "batches": len(plans),
+                       "padding": len(plans) * self.capacity - rows,
+                       "policy": self.policy.key})
         self._cond.notify_all()
 
     # -- barrier / lifecycle ----------------------------------------------

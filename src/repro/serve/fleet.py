@@ -34,6 +34,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.engine import Engine
+from repro.obs import trace as obs_trace
+from repro.obs.recorder import RECORDER
 from repro.serve.metrics import FleetMetrics
 from repro.serve.queue import RequestFuture, RequestRejected
 from repro.serve.router import Router
@@ -171,17 +173,61 @@ class ServingFleet:
             sample_shape = data.shape[1:]
         elif size is None:
             raise ValueError("submit needs data rows or an explicit size")
-        for name, server in self.router.route(size, sample_shape):
+        tracer = obs_trace.ACTIVE
+        span = None
+        if tracer is not None:
+            # the fleet is the front door: one root span per offered
+            # request, whatever lane (if any) admits it — the root
+            # count is exactly the offered count, so completed +
+            # failed + shed partition the roots.  The route child
+            # covers only the router's ordering pass; it closes before
+            # any lane can admit (so it can never outlive its root).
+            span = tracer.root("request", attrs={
+                "size": size, "priority": priority})
+            route_span = span.child("route")
+            order = self.router.route(size, sample_shape)
+            route_span.finish(lanes=len(order),
+                              order=[name for name, _ in order])
+        else:
+            order = self.router.route(size, sample_shape)
+        for probe, (name, server) in enumerate(order):
             future = server.try_submit(data=data, size=size,
                                        priority=priority,
-                                       deadline=deadline)
+                                       deadline=deadline, span=span)
             if future is not None:
                 self.metrics.record_routed(name)
+                if span is not None:
+                    # benign post-hoc annotation (never a timing edge)
+                    span.attrs["lane"] = name
+                    span.attrs["probe"] = probe
                 return future
         self.metrics.record_shed(size, priority)
+        if span is not None:
+            span.finish(status="shed", probes=len(order))
+        RECORDER.note_shed(size, priority, "fleet")
         raise RequestRejected(
             f"all {len(self.servers)} lanes rejected a {size}-row "
             f"{priority} request (fleet saturated)")
+
+    def session_timelines(self) -> Dict[str, "object"]:
+        """Every lane's worker-session device timelines, lane-prefixed
+        (the Chrome trace exporter's simulated-stream lanes)."""
+        out: Dict[str, "object"] = {}
+        for name, server in self.servers.items():
+            for label, tl in server.session_timelines().items():
+                out[f"{name}/{label}"] = tl
+        return out
+
+    def register_metrics(self, registry, prefix: str = "fleet") -> None:
+        """Register the fleet rollup plus every lane on a
+        :class:`~repro.obs.metrics.MetricsRegistry` — one shared SLO
+        renderer for the rollup, per-lane server/executor probes under
+        ``<prefix>.lane.<name>``."""
+        from repro.serve.metrics import render_slo_report
+        registry.probe(f"{prefix}.slo", self.metrics.to_dict,
+                       renderer=render_slo_report)
+        for name, server in self.servers.items():
+            server.register_metrics(registry, f"{prefix}.lane.{name}")
 
     def describe(self) -> str:
         lanes = ", ".join(

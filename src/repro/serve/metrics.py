@@ -257,6 +257,80 @@ class ServerMetrics:
             }
 
 
+def _render_classes(classes: Dict[str, dict]) -> List[str]:
+    lines = []
+    for cls, c in classes.items():
+        if c["completed"] or c["failed"] or c["shed"]:
+            lines.append(
+                f"  {cls:<10} : {c['completed']} done, "
+                f"p95 {c['latency_ms']['p95']:.2f} ms, "
+                f"p99 {c['latency_ms']['p99']:.2f} ms, "
+                f"{c['shed']} shed")
+    return lines
+
+
+def render_slo_report(m: dict) -> str:
+    """Render one SLO report from a metrics dict — the single text
+    view of serving health, shared by ``cli serve`` (both the
+    single-server and ``--fleet`` branches) and the
+    :class:`~repro.obs.metrics.MetricsRegistry` probe renderer.
+
+    Accepts either shape: :meth:`ServerMetrics.to_dict` (keys
+    ``requests``/``batches``/``throughput``) or
+    :meth:`FleetMetrics.to_dict` (key ``fleet`` plus per-engine
+    sub-dicts) — detected by the ``"fleet"`` key, so callers never
+    branch on which level they hold.
+    """
+    lines: List[str] = []
+    if "fleet" in m:
+        fl = m["fleet"]
+        req = fl["requests"]
+        offered = req["completed"] + req["failed"] + req["shed"]
+        lines.append(
+            f"requests     : {req['completed']} completed, "
+            f"{req['failed']} failed, {req['shed']} shed "
+            f"(rate {req['shed_rate']:.1%}) — offered {offered}")
+        lines.append(
+            f"latency      : p50 {req['latency_ms']['p50']:.2f} ms, "
+            f"p95 {req['latency_ms']['p95']:.2f} ms, "
+            f"p99 {req['latency_ms']['p99']:.2f} ms")
+        lines.extend(_render_classes(fl["classes"]))
+        lines.append(f"fill         : {fl['fill_ratio']:.1%} fleet-wide")
+        for lane, eng in m["engines"].items():
+            er, eb = eng["requests"], eng["batches"]
+            lines.append(
+                f"  {lane:<12} : {fl['routed'][lane]} routed, "
+                f"{er['completed']} done, "
+                f"fill {eb['fill_ratio']:.1%}, "
+                f"p95 {er['latency_ms']['p95']:.2f} ms")
+    else:
+        req, bat = m["requests"], m["batches"]
+        thr = m["throughput"]
+        lines.append(
+            f"requests     : {req['completed']} completed, "
+            f"{req['failed']} failed, {req['samples']} samples"
+            + (f", {req['shed']} shed" if req["shed"] else ""))
+        lines.append(
+            f"latency      : p50 {req['latency_ms']['p50']:.2f} ms, "
+            f"p95 {req['latency_ms']['p95']:.2f} ms, "
+            f"max {req['latency_ms']['max']:.2f} ms "
+            f"(queue p95 {req['queue_ms']['p95']:.2f} ms)")
+        lines.extend(_render_classes(m["classes"]))
+        lines.append(
+            f"batches      : {bat['count']} steps, fill "
+            f"{bat['fill_ratio']:.1%}, {bat['padded_rows']} padded "
+            f"rows, {bat['split_slices']} split slices")
+        lines.append(
+            f"throughput   : {thr['requests_per_second']:.1f} req/s, "
+            f"{thr['samples_per_second']:.1f} samples/s over "
+            f"{thr['elapsed_seconds']:.2f}s")
+        if m["swaps"]["count"]:
+            lines.append(
+                f"weight swaps : {m['swaps']['count']} "
+                f"(now v{m['swaps']['weights_version']})")
+    return "\n".join(lines)
+
+
 class FleetMetrics:
     """Fleet-wide SLO rollup over N per-engine :class:`ServerMetrics`.
 

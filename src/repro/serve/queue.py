@@ -128,6 +128,13 @@ class InferenceRequest:
         self._lock = TracedLock("request")
         self._parts: List[Optional[np.ndarray]] = []
         self._remaining = 0
+        # observability (repro.obs): the request's root span and its
+        # queue-wait child, attached by the submit front door when the
+        # tracer is armed.  Both close under _lock (deliver/fail/
+        # mark_dispatched already serialize there), so the span tree is
+        # finished exactly once whatever the slice interleaving.
+        self.span = None           # root "request" span
+        self.queue_span = None     # "queue.wait" child
 
     # -- delivery (called by the batcher/workers) -------------------------
     def begin_dispatch(self, n_slices: int) -> None:
@@ -140,6 +147,8 @@ class InferenceRequest:
         with self._lock:
             if self.dispatch_time is None:
                 self.dispatch_time = now
+                if self.queue_span is not None:
+                    self.queue_span.finish(end=now)
 
     def deliver(self, part_index: int, rows: Optional[np.ndarray],
                 version: int, now: float) -> bool:
@@ -170,6 +179,9 @@ class InferenceRequest:
                 out = self._parts[0] if len(self._parts) == 1 \
                     else np.concatenate(self._parts, axis=0)
                 self.future.set_result(out)
+            if self.span is not None:
+                self.span.finish(end=now, status="ok",
+                                 versions=len(self.versions))
             return True
 
     def fail(self, exc: BaseException, now: float) -> bool:
@@ -181,6 +193,12 @@ class InferenceRequest:
                 return False
             self.complete_time = now
             self.future.set_exception(exc)
+            if self.queue_span is not None:
+                # a request failed before dispatch still closes its wait
+                self.queue_span.finish(end=now)
+            if self.span is not None:
+                self.span.finish(end=now, status="error",
+                                 error=type(exc).__name__)
             return True
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -215,12 +233,17 @@ class RequestQueue:
     def submit(self, data: Optional[np.ndarray] = None,
                size: Optional[int] = None,
                priority: str = "normal",
-               deadline: Optional[float] = None) -> InferenceRequest:
+               deadline: Optional[float] = None,
+               span=None) -> InferenceRequest:
         """Enqueue a request of ``data`` rows (concrete) or a bare
         ``size`` (simulated traffic); returns the request, whose
         ``.future`` the caller blocks on.  ``priority`` is one of
         :data:`PRIORITIES`; ``deadline`` is an absolute clock time the
-        deadline coalescing policy orders urgent work by."""
+        deadline coalescing policy orders urgent work by.  ``span`` is
+        the request's root observability span (created by the server/
+        fleet front door); it attaches — and opens its queue-wait
+        child — under the monitor, before any worker can see the
+        request, so delivery can never race the attachment."""
         if data is not None:
             data = np.asarray(data, dtype=np.float32)
             if data.ndim < 1 or data.shape[0] < 1:
@@ -242,6 +265,11 @@ class RequestQueue:
             self._admit(size)    # bounded subclass may RequestRejected
             req = InferenceRequest(self._next_id, size, data, self.clock(),
                                    priority=priority, deadline=deadline)
+            if span is not None:
+                req.span = span
+                span.attrs.setdefault("request_id", req.request_id)
+                req.queue_span = span.child("queue.wait",
+                                            start=req.enqueue_time)
             self._next_id += 1
             self._items.append(req)
             self.submitted += 1

@@ -85,6 +85,16 @@ class Router:
             key=lambda t: (t[0], t[1]))
         return [(name, server) for _, name, server in scored]
 
+    def scores(self, size: int,
+               sample_shape: Optional[tuple] = None
+               ) -> List[Tuple[str, float]]:
+        """The routing decision made transparent: ``(name, score)``
+        best-first, same filter and tie-break as :meth:`route` — what
+        a trace consumer (or a test) reads to see *why* a request
+        landed where it did."""
+        return [(name, self.score(server, size))
+                for name, server in self.route(size, sample_shape)]
+
     def describe(self) -> str:
         return (f"Router({len(self.lanes)} lanes, "
                 f"depth_weight={self.depth_weight:g})")

@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.check.instrument import TracedLock, TracedThread, trace_read
 from repro.core.engine import Engine
+from repro.obs import trace as obs_trace
+from repro.obs.recorder import RECORDER
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.metrics import ServerMetrics
 from repro.serve.queue import (
@@ -197,6 +199,9 @@ class InferenceServer:
             # (closing it under a running iteration would turn the
             # orderly 'server stopped' failure into an internal crash);
             # the threads are daemons, so interpreter exit reaps them
+            RECORDER.note("worker.stuck", ", ".join(stuck),
+                          engine=self.engine.net.name)
+            RECORDER.dump("worker-stuck")
             raise RuntimeError(
                 f"workers still running after shutdown: {stuck}; "
                 "their sessions were left open")
@@ -250,11 +255,20 @@ class InferenceServer:
         shed and re-raises :class:`RequestRejected`.
         """
         rows = self._check_payload(data, size)
+        tracer = obs_trace.ACTIVE
+        span = None if tracer is None else tracer.root(
+            "request", attrs={"size": rows, "priority": priority,
+                              "engine": self.engine.net.name})
         try:
             req = self.queue.submit(data=data, size=size,
-                                    priority=priority, deadline=deadline)
+                                    priority=priority, deadline=deadline,
+                                    span=span)
         except RequestRejected:
             self.metrics.record_shed(rows, priority)
+            if span is not None:
+                span.finish(status="shed")
+            RECORDER.note_shed(rows, priority,
+                               f"server:{self.engine.net.name}")
             raise
         self._maybe_scale_up()
         return req.future
@@ -262,17 +276,21 @@ class InferenceServer:
     def try_submit(self, data: Optional[np.ndarray] = None,
                    size: Optional[int] = None,
                    priority: str = "normal",
-                   deadline: Optional[float] = None
-                   ) -> Optional[RequestFuture]:
+                   deadline: Optional[float] = None,
+                   span=None) -> Optional[RequestFuture]:
         """Like :meth:`submit`, but an admission rejection returns
         ``None`` and records nothing — the spillover probe the fleet
         router uses while it still has other lanes to try (only a
         fleet-wide rejection is a real shed, and the fleet records it).
+        ``span`` is the fleet's root span for the request, passed
+        through to the queue on admission — the fleet owns root
+        creation, so a probed-and-refused lane leaves no trace.
         """
         self._check_payload(data, size)
         try:
             req = self.queue.submit(data=data, size=size,
-                                    priority=priority, deadline=deadline)
+                                    priority=priority, deadline=deadline,
+                                    span=span)
         except RequestRejected:
             return None
         self._maybe_scale_up()
@@ -281,6 +299,35 @@ class InferenceServer:
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until every submitted request has completed."""
         return self.batcher.wait_drained(timeout)
+
+    def session_timelines(self) -> Dict[str, "object"]:
+        """Each worker session's device :class:`Timeline` (for the
+        Chrome trace exporter's simulated-stream lanes).  Includes
+        retired autoscaled workers — their ops happened."""
+        with self._scale_lock:
+            return {f"{self.engine.net.name}.worker{i}": s.executor.timeline
+                    for i, s in enumerate(self._sessions)}
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Register this server's surfaces on a
+        :class:`~repro.obs.metrics.MetricsRegistry`: the SLO report as
+        a rendered probe (the shared renderer, so CLI output and
+        registry render never drift) plus each worker session's
+        executor probes."""
+        from repro.serve.metrics import render_slo_report
+        registry.probe(f"{prefix}.slo", self.metrics.to_dict,
+                       renderer=render_slo_report)
+
+        def _pending():
+            with self.queue.cond:   # consistent (requests, rows) pair
+                return {"requests": self.queue.pending_count(),
+                        "rows": self.queue.pending_rows()}
+        registry.probe(f"{prefix}.queue.pending", _pending)
+        with self._scale_lock:
+            sessions = list(self._sessions)
+        for i, s in enumerate(sessions):
+            s.executor.register_metrics(registry,
+                                        f"{prefix}.worker{i}")
 
     def swap_weights(self, params: Dict[str, np.ndarray],
                      timeout: Optional[float] = None) -> int:
@@ -292,15 +339,32 @@ class InferenceServer:
         Requests still in the queue during the barrier run on the new
         weights.  Returns the number of parameter tensors installed.
         """
+        tracer = obs_trace.ACTIVE
+        barrier = None if tracer is None else tracer.root(
+            "swap.barrier", cat="serve.swap",
+            attrs={"engine": self.engine.net.name})
         with self._swap_lock:
             self.batcher.pause()
             try:
-                if not self.batcher.wait_idle(timeout):
+                drain = None if barrier is None \
+                    else barrier.child("swap.drain")
+                idle = self.batcher.wait_idle(timeout)
+                if drain is not None:
+                    drain.finish(status="ok" if idle else "error")
+                if not idle:
                     raise TimeoutError(
                         f"in-flight batches still running after "
                         f"{timeout}s; weights NOT swapped")
                 installed = self.engine.install_params(params)
                 self.metrics.note_swap(self.engine.weights_version)
+                if barrier is not None:
+                    barrier.finish(
+                        version=self.engine.weights_version)
+            except BaseException as exc:
+                if barrier is not None:
+                    barrier.finish(status="error",
+                                   error=type(exc).__name__)
+                raise
             finally:
                 self.batcher.resume()
         return installed
@@ -357,12 +421,31 @@ class InferenceServer:
                         np.array(out[s.row_offset:s.row_offset + s.rows])
                     if s.request.deliver(s.part_index, rows, version, now):
                         self.metrics.record_request(s.request)
+                    if s.request.span is not None:
+                        # one compute span per slice, in the request's
+                        # own tree (split requests show every ride)
+                        s.request.span.tracer.emit(
+                            "compute.slice", start=t0, end=now,
+                            parent=s.request.span,
+                            attrs={"rows": s.rows,
+                                   "part": s.part_index,
+                                   "batch": batch.batch_id,
+                                   "fill": batch.fill,
+                                   "padding": batch.padding,
+                                   "version": version})
                 self.metrics.record_batch(batch, dt)
             except BaseException as exc:
                 now = self.clock()
+                failed = []
                 for s in batch.slices:
                     if s.request.fail(exc, now):
                         self.metrics.record_failure(s.request)
+                        failed.append(s.request.request_id)
+                RECORDER.note("worker.exception",
+                              f"{type(exc).__name__}: {exc}",
+                              engine=self.engine.net.name,
+                              batch=batch.batch_id, requests=failed)
+                RECORDER.dump("worker-exception")
             finally:
                 self.batcher.mark_done(batch)
             iteration += 1
